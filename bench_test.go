@@ -1,0 +1,146 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper at the tiny preset — one bench per artifact, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the full harness. DESIGN.md maps each bench to its paper
+// artifact; run cmd/fedsim with -preset medium/paper for report-quality
+// numbers.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		experiments.ClearCache() // honest timing: no memoized runs
+		if _, err := experiments.RunByID(id, experiments.Tiny); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates paper Table 1 (accuracy + variance, 5 methods
+// × 7 dataset configurations).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates paper Table 2 (bytes to target accuracy).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFigure2 regenerates paper Figure 2 (convergence timelines +
+// time-to-target bars).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFigure3 regenerates paper Figure 3 (non-IID level sweep).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFigure4 regenerates paper Figure 4 (accuracy vs uploaded bytes).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFigure5 regenerates paper Figure 5 (compression precision sweep).
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFigure6 regenerates paper Figure 6 (weighted vs uniform
+// aggregation).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates paper Figure 7 (large-scale FEMNIST, six
+// methods including ASO-Fed).
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates paper Figure 8 (Reddit LSTM accuracy/loss).
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFigure9 regenerates paper Figure 9 (client participation sweep).
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates paper Figure 10 (tier-size distributions).
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// ---------------------------------------------------------------------------
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func benchEnv(b *testing.B, c codec.Codec, seed uint64) *fl.Env {
+	b.Helper()
+	fed, err := dataset.FashionLike(15, 2, dataset.ScaleSmall, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := simnet.NewCluster(simnet.ClusterConfig{
+		NumClients: 15, NumUnstable: 1, DropHorizon: 3000,
+		SecPerBatch: 0.5, UpBW: 1 << 20, DownBW: 1 << 20, ServerBW: 16 << 20,
+		Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func(s uint64) *nn.Network {
+		return nn.NewMLP(rng.New(s), fed.InDim, 16, fed.Classes)
+	}
+	env, err := fl.NewEnv(fed, cluster, factory, fl.RunConfig{
+		Rounds: 20, ClientsPerRound: 5, LocalEpochs: 2, BatchSize: 8,
+		Lambda: 0.4, LearningRate: 0.005, NumTiers: 5,
+		Codec: c, EvalEvery: 5, Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkAblationFedATRun measures one full FedAT run end to end.
+func BenchmarkAblationFedATRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fl.FedAT(benchEnv(b, codec.NewPolyline(4), 9))
+	}
+}
+
+// BenchmarkAblationCompression compares the per-run cost of the polyline
+// channel against raw transmission (the codec CPU vs bytes tradeoff).
+func BenchmarkAblationCompression(b *testing.B) {
+	b.Run("polyline4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fl.FedAT(benchEnv(b, codec.NewPolyline(4), 9))
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fl.FedAT(benchEnv(b, codec.Raw{}, 9))
+		}
+	})
+}
+
+// BenchmarkAblationDeltaEncoding compares absolute vs delta polyline
+// payload sizes on trained weights.
+func BenchmarkAblationDeltaEncoding(b *testing.B) {
+	net := nn.NewMLP(rng.New(1), 100, 32, 10)
+	w := net.WeightsCopy()
+	abs := codec.NewPolyline(4)
+	del := codec.NewPolylineDelta(4)
+	b.Run("absolute", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = len(abs.Encode(w))
+		}
+		b.ReportMetric(float64(n), "payload-bytes")
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			n = len(del.Encode(w))
+		}
+		b.ReportMetric(float64(n), "payload-bytes")
+	})
+}

@@ -1,0 +1,72 @@
+// Command fedclient joins a fedserver as one federated participant: it
+// derives its local shard of the synthetic federation from the shared
+// flags, then trains whenever the server pushes the global model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "server address")
+		id      = flag.Int("id", 0, "client id (0..clients-1)")
+		clients = flag.Int("clients", 6, "total clients in the federation")
+		ds      = flag.String("dataset", "fashion", "dataset: fashion or cifar10")
+		seed    = flag.Uint64("seed", 1, "shared seed (must match the server)")
+		latency = flag.Int("latency", 100, "latency hint in ms (drives tiering)")
+		delayMs = flag.Int("delay", 0, "artificial per-round delay in ms (straggler emulation)")
+		epochs  = flag.Int("epochs", 3, "local epochs per round")
+		batch   = flag.Int("batch", 10, "local batch size")
+		lambda  = flag.Float64("lambda", 0.4, "proximal coefficient (Eq. 3)")
+		lr      = flag.Float64("lr", 0.005, "local learning rate (Adam)")
+	)
+	flag.Parse()
+
+	fed, err := buildFederation(*ds, *clients, *seed)
+	if err != nil {
+		log.Fatal("fedclient: ", err)
+	}
+	if *id < 0 || *id >= len(fed.Clients) {
+		log.Fatalf("fedclient: id %d out of range [0,%d)", *id, len(fed.Clients))
+	}
+	net := nn.NewMLP(rng.New(*seed), fed.InDim, 16, fed.Classes)
+	err = transport.RunClient(transport.ClientConfig{
+		Addr:            *addr,
+		ID:              uint32(*id),
+		LatencyHintMs:   uint32(*latency),
+		ArtificialDelay: time.Duration(*delayMs) * time.Millisecond,
+		Data:            fed.Clients[*id],
+		Net:             net,
+		Opt:             opt.NewAdam(*lr),
+		Epochs:          *epochs,
+		BatchSize:       *batch,
+		Lambda:          *lambda,
+		Seed:            *seed,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal("fedclient: ", err)
+	}
+	log.Printf("fedclient %d: finished cleanly", *id)
+}
+
+func buildFederation(name string, clients int, seed uint64) (*dataset.Federated, error) {
+	switch name {
+	case "fashion":
+		return dataset.FashionLike(clients, 2, dataset.ScaleSmall, seed)
+	case "cifar10":
+		return dataset.CIFAR10Like(clients, 2, dataset.ScaleSmall, seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}

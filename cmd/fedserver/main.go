@@ -1,0 +1,102 @@
+// Command fedserver runs a FedAT aggregation server over real TCP. Pair it
+// with cmd/fedclient processes (same -dataset/-clients/-seed flags so every
+// party derives the same synthetic federation and model architecture).
+//
+// Example (one server, six clients, two tiers):
+//
+//	fedserver -addr :7070 -clients 6 -tiers 2 -rounds 20 &
+//	for i in $(seq 0 5); do
+//	  fedclient -addr 127.0.0.1:7070 -id $i -clients 6 -latency $((100 + i*200)) &
+//	done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		clients  = flag.Int("clients", 6, "registrations to wait for")
+		tiers    = flag.Int("tiers", 2, "number of latency tiers")
+		rounds   = flag.Int("rounds", 20, "global update budget")
+		perRound = flag.Int("k", 3, "clients per tier round")
+		ds       = flag.String("dataset", "fashion", "dataset: fashion or cifar10")
+		seed     = flag.Uint64("seed", 1, "shared seed (must match clients)")
+		prec     = flag.Int("precision", 4, "polyline compression precision")
+		uniform  = flag.Bool("uniform", false, "uniform aggregation instead of Eq. 5 weighting")
+	)
+	flag.Parse()
+
+	fed, factory, err := buildFederation(*ds, *clients, *seed)
+	if err != nil {
+		log.Fatal("fedserver: ", err)
+	}
+	ref := factory(*seed)
+	shapes := make([]codec.ShapeInfo, 0)
+	for _, s := range ref.ParamShapes() {
+		shapes = append(shapes, codec.ShapeInfo{Name: s.Name, Dims: s.Dims})
+	}
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr:            *addr,
+		NumClients:      *clients,
+		NumTiers:        *tiers,
+		Rounds:          *rounds,
+		ClientsPerRound: *perRound,
+		Weighted:        !*uniform,
+		Codec:           codec.NewPolyline(*prec),
+		Shapes:          shapes,
+		W0:              ref.WeightsCopy(),
+		Seed:            *seed,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal("fedserver: ", err)
+	}
+	log.Printf("fedserver: listening on %s for %d clients", srv.Addr(), *clients)
+	final, err := srv.Run()
+	if err != nil {
+		log.Fatal("fedserver: ", err)
+	}
+	// Report the final model's quality on the pooled held-out data.
+	eval := factory(*seed)
+	eval.SetWeights(final)
+	correct, total := 0, 0
+	for _, c := range fed.Clients {
+		cor, _ := eval.Eval(c.TestX, c.TestY)
+		correct += cor
+		total += c.NumTest()
+	}
+	fmt.Printf("fedserver: done after %d rounds; tier counts %v; test accuracy %.3f (%d/%d)\n",
+		srv.Aggregator().Rounds(), srv.Aggregator().TierCounts(), float64(correct)/float64(total), correct, total)
+	os.Exit(0)
+}
+
+func buildFederation(name string, clients int, seed uint64) (*dataset.Federated, func(uint64) *nn.Network, error) {
+	var fed *dataset.Federated
+	var err error
+	switch name {
+	case "fashion":
+		fed, err = dataset.FashionLike(clients, 2, dataset.ScaleSmall, seed)
+	case "cifar10":
+		fed, err = dataset.CIFAR10Like(clients, 2, dataset.ScaleSmall, seed)
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	factory := func(s uint64) *nn.Network {
+		return nn.NewMLP(rng.New(s), fed.InDim, 16, fed.Classes)
+	}
+	return fed, factory, nil
+}

@@ -1,0 +1,104 @@
+// Command fedsim regenerates the FedAT paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	fedsim -list
+//	fedsim -exp table1 -preset medium
+//	fedsim -exp all -preset small
+//
+// Reports print to stdout; see EXPERIMENTS.md for the paper-vs-measured
+// comparison of each artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id (table1, table2, fig2..fig10, ablation-*, or 'all')")
+		preset = flag.String("preset", "small", "scale preset: tiny, small, medium, paper")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "directory to write per-run CSV series into (optional)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-8s %s\n", id, experiments.Registry[id].Title)
+		}
+		fmt.Println("presets: tiny, small, medium, paper")
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "fedsim: -exp required (use -list to see experiments)")
+		os.Exit(2)
+	}
+	p, err := experiments.PresetByName(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		os.Exit(2)
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.RunByID(id, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s completed in %s at preset %s)\n\n", id, time.Since(start).Round(time.Millisecond), p.Name)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, id, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSVs dumps every kept run's evaluation series for plotting.
+func writeCSVs(dir, expID string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for key, run := range rep.Runs {
+		name := fmt.Sprintf("%s__%s.csv", expID, sanitize(key))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = run.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch c {
+		case '/', ' ', '(', ')', '#', '%', '=':
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

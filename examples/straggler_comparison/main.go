@@ -1,0 +1,103 @@
+// Straggler comparison: run all six FL methods on the same straggler-heavy
+// federation and print the robustness metrics of Definition 3.1 —
+// convergence speed (virtual time per update and time-to-target), accuracy
+// variance across clients, and final prediction accuracy.
+//
+//	go run ./examples/straggler_comparison
+//
+// This reproduces, at example scale, the story of the paper's Figure 2 and
+// Table 1: asynchronous tiers tolerate stragglers that stall synchronous
+// rounds, and the weighted aggregation keeps the accuracy balanced across
+// clients.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+func main() {
+	const clients = 40
+	methods := []string{"fedat", "tifl", "fedavg", "fedprox", "fedasync", "asofed"}
+
+	fmt.Println("method    rounds   best-acc  acc-var    sec/update  up-MB")
+	fmt.Println("--------  -------  --------  ---------  ----------  ------")
+	for _, name := range methods {
+		// Fresh environment per method: identical data, cluster and seed.
+		fed, err := dataset.CIFAR10Like(clients, 2, dataset.ScaleSmall, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster, err := simnet.NewCluster(simnet.ClusterConfig{
+			NumClients:  clients,
+			NumUnstable: 4,
+			DropHorizon: 30000,
+			SecPerBatch: 0.5,
+			UpBW:        1 << 20,
+			DownBW:      1 << 20,
+			ServerBW:    16 << 20,
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		factory := func(seed uint64) *nn.Network {
+			return nn.NewMLP(rng.New(seed), fed.InDim, 24, fed.Classes)
+		}
+		// Every method gets the same virtual-TIME budget (the paper's
+		// timeline protocol); the round caps just keep the cheap-update
+		// methods from running forever.
+		cfg := fl.RunConfig{
+			Rounds:          300,
+			ClientsPerRound: 8,
+			LocalEpochs:     3,
+			BatchSize:       10,
+			Lambda:          0.4,
+			LearningRate:    0.005,
+			NumTiers:        5,
+			EvalEvery:       15,
+			MaxSimTime:      9000,
+			Seed:            7,
+		}
+		switch name {
+		case "fedat":
+			cfg.Rounds, cfg.EvalEvery = 3600, 90
+		case "fedasync", "asofed":
+			cfg.Rounds, cfg.EvalEvery = 7200, 180
+		}
+		if name == "fedat" {
+			cfg.Codec = codec.NewPolyline(4) // only FedAT compresses, as in the paper
+		}
+		env, err := fl.NewEnv(fed, cluster, factory, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner, err := fl.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := runner(env)
+
+		finalTime := 0.0
+		if n := len(run.Points); n > 0 {
+			finalTime = run.Points[n-1].Time
+		}
+		perUpdate := 0.0
+		if run.GlobalRounds > 0 {
+			perUpdate = finalTime / float64(run.GlobalRounds)
+		}
+		fmt.Printf("%-8s  %7d  %8.3f  %9.2e  %9.2fs  %6.1f\n",
+			run.Method, run.GlobalRounds, run.BestAcc(), run.MeanVariance(),
+			perUpdate, float64(run.UpBytes)/1e6)
+	}
+	fmt.Println("\nExpected shape (paper Table 1 / Figure 2): FedAT produces global updates an order of")
+	fmt.Println("magnitude faster than FedAvg/FedProx, whose rounds stall on stragglers, while matching")
+	fmt.Println("their accuracy; the wait-free FedAsync/ASO-Fed trail in accuracy despite their update rate.")
+}

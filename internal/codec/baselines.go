@@ -1,0 +1,137 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Raw transmits float64s verbatim: the "No Compression" baseline of
+// Figure 5.
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// MaxError implements Codec.
+func (Raw) MaxError() float64 { return 0 }
+
+// Encode implements Codec.
+func (Raw) Encode(w []float64) []byte {
+	out := make([]byte, 8*len(w))
+	for i, v := range w {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Raw) Decode(data []byte, out []float64) error {
+	if len(data) != 8*len(out) {
+		return fmt.Errorf("%w: raw payload %d bytes, want %d", ErrCorrupt, len(data), 8*len(out))
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return nil
+}
+
+// Float32 halves the payload by casting to float32, a common cheap
+// baseline.
+type Float32 struct{}
+
+// Name implements Codec.
+func (Float32) Name() string { return "float32" }
+
+// MaxError implements Codec: relative error of a float32 cast; for weights
+// bounded by ~10 this is ~1e-6 absolute.
+func (Float32) MaxError() float64 { return 1e-5 }
+
+// Encode implements Codec.
+func (Float32) Encode(w []float64) []byte {
+	out := make([]byte, 4*len(w))
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Float32) Decode(data []byte, out []float64) error {
+	if len(data) != 4*len(out) {
+		return fmt.Errorf("%w: float32 payload %d bytes, want %d", ErrCorrupt, len(data), 4*len(out))
+	}
+	for i := range out {
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:])))
+	}
+	return nil
+}
+
+// Quant8 linearly quantizes the vector into 8-bit codes against the payload
+// min/max. This is the quantization-style baseline §4.3 argues degrades
+// under non-IID weight divergence: its error scales with the weight RANGE,
+// so a few diverged coordinates blow up the error of every coordinate —
+// unlike polyline whose error is a fixed decimal precision.
+type Quant8 struct{}
+
+// Name implements Codec.
+func (Quant8) Name() string { return "quant8" }
+
+// MaxError implements Codec: input-dependent.
+func (Quant8) MaxError() float64 { return math.Inf(1) }
+
+// Encode implements Codec. Payload: min, max float64 then one code byte per
+// value.
+func (Quant8) Encode(w []float64) []byte {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range w {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if len(w) == 0 {
+		lo, hi = 0, 0
+	}
+	out := make([]byte, 16+len(w))
+	binary.LittleEndian.PutUint64(out, math.Float64bits(lo))
+	binary.LittleEndian.PutUint64(out[8:], math.Float64bits(hi))
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for i, v := range w {
+		code := math.Round((v - lo) / span * 255)
+		out[16+i] = byte(code)
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Quant8) Decode(data []byte, out []float64) error {
+	if len(data) != 16+len(out) {
+		return fmt.Errorf("%w: quant8 payload %d bytes, want %d", ErrCorrupt, len(data), 16+len(out))
+	}
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	hi := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for i := range out {
+		out[i] = lo + float64(data[16+i])/255*span
+	}
+	return nil
+}
+
+// CompressionRatio reports uncompressed float64 bytes divided by encoded
+// bytes for a given payload — the metric the paper quotes (up to 3.5×).
+func CompressionRatio(c Codec, w []float64) float64 {
+	enc := c.Encode(w)
+	if len(enc) == 0 {
+		return 0
+	}
+	return float64(8*len(w)) / float64(len(enc))
+}

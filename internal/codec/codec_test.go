@@ -1,0 +1,280 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randWeights(r *rng.RNG, n int, scale float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = scale * r.Norm()
+	}
+	return w
+}
+
+func roundTrip(t *testing.T, c Codec, w []float64) []float64 {
+	t.Helper()
+	enc := c.Encode(w)
+	out := make([]float64, len(w))
+	if err := c.Decode(enc, out); err != nil {
+		t.Fatalf("%s decode failed: %v", c.Name(), err)
+	}
+	return out
+}
+
+func TestPolylineRoundTripErrorBound(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range []int{3, 4, 5, 6} {
+		for _, delta := range []bool{false, true} {
+			c := &Polyline{Precision: p, Delta: delta}
+			w := randWeights(r, 500, 0.3)
+			out := roundTrip(t, c, w)
+			bound := c.MaxError() + 1e-12
+			for i := range w {
+				if math.Abs(w[i]-out[i]) > bound {
+					t.Fatalf("%s error %v exceeds bound %v", c.Name(), math.Abs(w[i]-out[i]), bound)
+				}
+			}
+		}
+	}
+}
+
+func TestPolylineRoundTripProperty(t *testing.T) {
+	c := NewPolyline(4)
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				vals[i] = 0.5
+			}
+		}
+		out := make([]float64, len(vals))
+		if err := c.Decode(c.Encode(vals), out); err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Abs(vals[i]-out[i]) > c.MaxError()+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigZagInvolution(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigZagSmallMagnitudesStaySmall(t *testing.T) {
+	for v := int64(-16); v <= 16; v++ {
+		if zigzag(v) > 33 {
+			t.Fatalf("zigzag(%d) = %d", v, zigzag(v))
+		}
+	}
+}
+
+func TestVarintASCIIRange(t *testing.T) {
+	// The polyline wire format must stay printable ASCII (63..126).
+	c := NewPolyline(5)
+	enc := c.Encode(randWeights(rng.New(2), 300, 1))
+	for _, b := range enc {
+		if b < 63 || b > 126 {
+			t.Fatalf("non-polyline byte %d in payload", b)
+		}
+	}
+}
+
+func TestPolylineHandlesNonFinite(t *testing.T) {
+	c := NewPolyline(4)
+	w := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1e300, 0.5}
+	out := make([]float64, len(w))
+	if err := c.Decode(c.Encode(w), out); err != nil {
+		t.Fatalf("decode failed on clamped payload: %v", err)
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite survived the codec: %v", out)
+		}
+	}
+	if math.Abs(out[5]-0.5) > c.MaxError() {
+		t.Fatal("finite value corrupted by clamping neighbours")
+	}
+}
+
+func TestPolylineCompressionRatio(t *testing.T) {
+	// Realistic weights (|w| mostly < 1) at precision 4 should beat 2×
+	// vs float64, in the regime the paper reports (up to 3.5×).
+	r := rng.New(3)
+	w := randWeights(r, 5000, 0.15)
+	ratio := CompressionRatio(NewPolyline(4), w)
+	if ratio < 2 {
+		t.Fatalf("polyline4 ratio %v, want >= 2", ratio)
+	}
+	ratio3 := CompressionRatio(NewPolyline(3), w)
+	if ratio3 <= ratio {
+		t.Fatalf("precision 3 (%v) should compress better than 4 (%v)", ratio3, ratio)
+	}
+}
+
+func TestDeltaHelpsOnSmoothData(t *testing.T) {
+	// Strongly correlated neighbours → delta payload smaller.
+	n := 2000
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 5 + 0.0001*float64(i%7)
+	}
+	abs := len(NewPolyline(4).Encode(w))
+	del := len(NewPolylineDelta(4).Encode(w))
+	if del >= abs {
+		t.Fatalf("delta (%d bytes) not smaller than absolute (%d) on smooth data", del, abs)
+	}
+}
+
+func TestRawLossless(t *testing.T) {
+	r := rng.New(4)
+	w := randWeights(r, 100, 3)
+	out := roundTrip(t, Raw{}, w)
+	for i := range w {
+		if w[i] != out[i] {
+			t.Fatal("raw codec is not lossless")
+		}
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	w := []float64{0.1, -2.5, 1e-3}
+	out := roundTrip(t, Float32{}, w)
+	for i := range w {
+		if math.Abs(w[i]-out[i]) > 1e-6*math.Abs(w[i])+1e-9 {
+			t.Fatalf("float32 error too large at %d: %v vs %v", i, w[i], out[i])
+		}
+	}
+}
+
+func TestQuant8RangeSensitivity(t *testing.T) {
+	// The §4.3 argument: one diverged coordinate destroys everyone's
+	// precision under range quantization but not under polyline.
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = 0.01 * float64(i%10)
+	}
+	w[0] = 1000 // diverged weight
+	q := roundTrip(t, Quant8{}, w)
+	p := roundTrip(t, NewPolyline(4), w)
+	quantErr, polyErr := 0.0, 0.0
+	for i := 1; i < len(w); i++ {
+		quantErr += math.Abs(w[i] - q[i])
+		polyErr += math.Abs(w[i] - p[i])
+	}
+	if quantErr < 10*polyErr {
+		t.Fatalf("expected quant8 (%v) to degrade much worse than polyline (%v)", quantErr, polyErr)
+	}
+}
+
+func TestDecodeCorruptPayloads(t *testing.T) {
+	c := NewPolyline(4)
+	out := make([]float64, 3)
+	if err := c.Decode([]byte{1, 2, 3}, out); err == nil {
+		t.Fatal("low bytes accepted")
+	}
+	enc := c.Encode([]float64{1, 2, 3})
+	if err := c.Decode(enc[:len(enc)-1], out); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if err := c.Decode(append(enc, 'a'), out); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestMarshalModelRoundTrip(t *testing.T) {
+	shapes := []ShapeInfo{
+		{Name: "W", Dims: []int{4, 3}},
+		{Name: "b", Dims: []int{4}},
+	}
+	w := randWeights(rng.New(5), 16, 0.5)
+	for _, c := range []Codec{Raw{}, Float32{}, Quant8{}, NewPolyline(4), NewPolylineDelta(5)} {
+		msg, err := MarshalModel(c, shapes, w)
+		if err != nil {
+			t.Fatalf("%s marshal: %v", c.Name(), err)
+		}
+		gotShapes, gotW, err := UnmarshalModel(msg)
+		if err != nil {
+			t.Fatalf("%s unmarshal: %v", c.Name(), err)
+		}
+		if len(gotShapes) != 2 || gotShapes[0].Name != "W" || gotShapes[1].Dims[0] != 4 {
+			t.Fatalf("%s shapes corrupted: %+v", c.Name(), gotShapes)
+		}
+		if len(gotW) != 16 {
+			t.Fatalf("%s weight count %d", c.Name(), len(gotW))
+		}
+		tol := c.MaxError()
+		if math.IsInf(tol, 1) {
+			tol = 1 // quant8 on this data
+		}
+		for i := range w {
+			if math.Abs(w[i]-gotW[i]) > tol+1e-9 {
+				t.Fatalf("%s weight %d error %v", c.Name(), i, math.Abs(w[i]-gotW[i]))
+			}
+		}
+	}
+}
+
+func TestMarshalModelShapeMismatch(t *testing.T) {
+	_, err := MarshalModel(Raw{}, []ShapeInfo{{Name: "W", Dims: []int{2, 2}}}, make([]float64, 3))
+	if err == nil {
+		t.Fatal("shape/weight mismatch accepted")
+	}
+}
+
+func TestUnmarshalModelCorrupt(t *testing.T) {
+	msg, err := MarshalModel(NewPolyline(4), []ShapeInfo{{Name: "W", Dims: []int{2}}}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 6, len(msg) - 1} {
+		if cut >= len(msg) {
+			continue
+		}
+		if _, _, err := UnmarshalModel(msg[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte{}, msg...)
+	bad[0] = 99
+	if _, _, err := UnmarshalModel(bad); err == nil {
+		t.Fatal("unknown codec id accepted")
+	}
+}
+
+func BenchmarkPolylineEncode(b *testing.B) {
+	w := randWeights(rng.New(1), 10000, 0.2)
+	c := NewPolyline(4)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * len(w)))
+	for i := 0; i < b.N; i++ {
+		c.Encode(w)
+	}
+}
+
+func BenchmarkPolylineDecode(b *testing.B) {
+	w := randWeights(rng.New(1), 10000, 0.2)
+	c := NewPolyline(4)
+	enc := c.Encode(w)
+	out := make([]float64, len(w))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if err := c.Decode(enc, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

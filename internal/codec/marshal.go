@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ShapeInfo mirrors a layer parameter block (name + dims). The paper's §4.3
+// transmits "the dimensions of the weights of each layer" with the
+// compressed payload; MarshalModel reproduces that wire format so the
+// receiver can unmarshal weights back into layers.
+type ShapeInfo struct {
+	Name string
+	Dims []int
+}
+
+// Size is the number of elements in the block.
+func (s ShapeInfo) Size() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+// codec wire ids
+const (
+	wireRaw = iota
+	wireFloat32
+	wireQuant8
+	wirePolyline
+	wirePolylineDelta
+)
+
+func codecWireID(c Codec) (id byte, precision byte, err error) {
+	switch v := c.(type) {
+	case Raw, *Raw:
+		return wireRaw, 0, nil
+	case Float32, *Float32:
+		return wireFloat32, 0, nil
+	case Quant8, *Quant8:
+		return wireQuant8, 0, nil
+	case *Polyline:
+		if v.Precision < 0 || v.Precision > 12 {
+			return 0, 0, fmt.Errorf("codec: polyline precision %d out of range", v.Precision)
+		}
+		if v.Delta {
+			return wirePolylineDelta, byte(v.Precision), nil
+		}
+		return wirePolyline, byte(v.Precision), nil
+	default:
+		return 0, 0, fmt.Errorf("codec: unknown codec %T", c)
+	}
+}
+
+func codecFromWire(id, precision byte) (Codec, error) {
+	switch id {
+	case wireRaw:
+		return Raw{}, nil
+	case wireFloat32:
+		return Float32{}, nil
+	case wireQuant8:
+		return Quant8{}, nil
+	case wirePolyline:
+		return &Polyline{Precision: int(precision)}, nil
+	case wirePolylineDelta:
+		return &Polyline{Precision: int(precision), Delta: true}, nil
+	default:
+		return nil, fmt.Errorf("%w: codec id %d", ErrCorrupt, id)
+	}
+}
+
+// MarshalModel builds the self-describing model message:
+//
+//	[codecID u8][precision u8][numShapes u16]
+//	  per shape: [nameLen u8][name][numDims u8][dims u32...]
+//	[payloadLen u32][payload]
+//
+// The header is what the paper calls "marshalling": flatten weights, attach
+// per-layer dimensions, compress.
+func MarshalModel(c Codec, shapes []ShapeInfo, w []float64) ([]byte, error) {
+	id, prec, err := codecWireID(c)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range shapes {
+		total += s.Size()
+	}
+	if total != len(w) {
+		return nil, fmt.Errorf("codec: shapes cover %d elements, weights have %d", total, len(w))
+	}
+	payload := c.Encode(w)
+	out := make([]byte, 0, 64+len(payload))
+	out = append(out, id, prec)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(shapes)))
+	for _, s := range shapes {
+		if len(s.Name) > 255 || len(s.Dims) > 255 {
+			return nil, fmt.Errorf("codec: shape %q too large for wire format", s.Name)
+		}
+		out = append(out, byte(len(s.Name)))
+		out = append(out, s.Name...)
+		out = append(out, byte(len(s.Dims)))
+		for _, d := range s.Dims {
+			out = binary.LittleEndian.AppendUint32(out, uint32(d))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+// UnmarshalModel parses a model message, returning the shape list and the
+// reconstructed flat weight vector.
+func UnmarshalModel(data []byte) ([]ShapeInfo, []float64, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	c, err := codecFromWire(data[0], data[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	numShapes := int(binary.LittleEndian.Uint16(data[2:]))
+	pos := 4
+	shapes := make([]ShapeInfo, 0, numShapes)
+	total := 0
+	for i := 0; i < numShapes; i++ {
+		if pos >= len(data) {
+			return nil, nil, fmt.Errorf("%w: truncated shape table", ErrCorrupt)
+		}
+		nameLen := int(data[pos])
+		pos++
+		if pos+nameLen+1 > len(data) {
+			return nil, nil, fmt.Errorf("%w: truncated shape name", ErrCorrupt)
+		}
+		name := string(data[pos : pos+nameLen])
+		pos += nameLen
+		numDims := int(data[pos])
+		pos++
+		if pos+4*numDims > len(data) {
+			return nil, nil, fmt.Errorf("%w: truncated dims", ErrCorrupt)
+		}
+		dims := make([]int, numDims)
+		for d := 0; d < numDims; d++ {
+			dims[d] = int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		}
+		s := ShapeInfo{Name: name, Dims: dims}
+		shapes = append(shapes, s)
+		total += s.Size()
+	}
+	if pos+4 > len(data) {
+		return nil, nil, fmt.Errorf("%w: missing payload length", ErrCorrupt)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if pos+payloadLen != len(data) {
+		return nil, nil, fmt.Errorf("%w: payload length %d does not match remaining %d", ErrCorrupt, payloadLen, len(data)-pos)
+	}
+	w := make([]float64, total)
+	if err := c.Decode(data[pos:pos+payloadLen], w); err != nil {
+		return nil, nil, err
+	}
+	return shapes, w, nil
+}

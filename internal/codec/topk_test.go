@@ -1,0 +1,100 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTopKKeepsLargestMagnitudes(t *testing.T) {
+	w := []float64{0.1, -5, 0.2, 3, -0.05, 0.01, 2, -0.3}
+	c := NewTopK(0.375) // keep 3 of 8
+	out := make([]float64, len(w))
+	if err := c.Decode(c.Encode(w), out); err != nil {
+		t.Fatal(err)
+	}
+	// The three largest magnitudes are -5, 3, 2.
+	wantKept := map[int]bool{1: true, 3: true, 6: true}
+	for i, v := range out {
+		if wantKept[i] {
+			if math.Abs(v-w[i]) > 1e-6 {
+				t.Fatalf("kept coordinate %d corrupted: %v vs %v", i, v, w[i])
+			}
+		} else if v != 0 {
+			t.Fatalf("dropped coordinate %d nonzero: %v", i, v)
+		}
+	}
+}
+
+func TestTopKFullFractionIsFloat32(t *testing.T) {
+	r := rng.New(1)
+	w := randWeights(r, 50, 1)
+	c := NewTopK(1)
+	out := make([]float64, len(w))
+	if err := c.Decode(c.Encode(w), out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Abs(w[i]-out[i]) > 1e-6*math.Abs(w[i])+1e-9 {
+			t.Fatalf("full-fraction topk lossy beyond float32 at %d", i)
+		}
+	}
+}
+
+func TestTopKPayloadSmallerThanRaw(t *testing.T) {
+	r := rng.New(2)
+	w := randWeights(r, 1000, 1)
+	enc := NewTopK(0.1).Encode(w)
+	if len(enc) >= 8*len(w)/2 {
+		t.Fatalf("topk 10%% payload not small: %d bytes vs %d raw", len(enc), 8*len(w))
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	w := []float64{1, 1, 1, 1}
+	c := NewTopK(0.5)
+	a := c.Encode(w)
+	b := c.Encode(w)
+	if string(a) != string(b) {
+		t.Fatal("topk encoding not deterministic under ties")
+	}
+	out := make([]float64, 4)
+	if err := c.Decode(a, out); err != nil {
+		t.Fatal(err)
+	}
+	// Stable tie-break keeps the first two indices.
+	if out[0] != 1 || out[1] != 1 || out[2] != 0 || out[3] != 0 {
+		t.Fatalf("tie-break not index-stable: %v", out)
+	}
+}
+
+func TestTopKCorruptPayloads(t *testing.T) {
+	c := NewTopK(0.5)
+	out := make([]float64, 4)
+	if err := c.Decode([]byte{1, 2}, out); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	enc := c.Encode([]float64{1, 2, 3, 4})
+	if err := c.Decode(enc[:len(enc)-1], out); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Corrupt an index to point out of range.
+	bad := append([]byte{}, enc...)
+	bad[4] = 0xFF
+	bad[5] = 0xFF
+	bad[6] = 0xFF
+	bad[7] = 0xFF
+	if err := c.Decode(bad, out); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestTopKPanicsOnBadFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad fraction accepted")
+		}
+	}()
+	NewTopK(0)
+}

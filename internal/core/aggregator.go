@@ -1,0 +1,187 @@
+// Package core implements FedAT's server-side aggregation state machine
+// (Algorithm 2): one model per tier updated synchronously from that tier's
+// clients, update counters per tier, and the cross-tier weighted average of
+// Eq. 5 that produces the global model.
+//
+// The aggregator is deliberately independent of any clock or transport: the
+// discrete-event simulator (internal/fl) and the TCP deployment
+// (internal/transport) drive the same code, so simulation results reflect
+// the deployable system.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Aggregator is FedAT's server state. It is safe for concurrent use: in
+// transport mode every tier's handler goroutine calls UpdateTier, which the
+// paper serializes through the server (Figure 1's aggregation box).
+type Aggregator struct {
+	mu sync.Mutex
+
+	m        int
+	weighted bool // Eq. 5 weighting; false = uniform (the Figure 6 ablation)
+
+	tierW  [][]float64 // w_tier m, initialized to w0 (Algorithm 2)
+	counts []int       // T_tier m
+	total  int         // T = Σ counts
+	global []float64   // cached weighted average
+	w0     []float64
+}
+
+// NewAggregator builds the server state for m tiers starting from the
+// initial global weights w0.
+func NewAggregator(m int, w0 []float64, weighted bool) (*Aggregator, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("core: need at least one tier")
+	}
+	if len(w0) == 0 {
+		return nil, fmt.Errorf("core: empty initial weights")
+	}
+	a := &Aggregator{
+		m:        m,
+		weighted: weighted,
+		tierW:    make([][]float64, m),
+		counts:   make([]int, m),
+		global:   tensor.Copy(w0),
+		w0:       tensor.Copy(w0),
+	}
+	for i := range a.tierW {
+		a.tierW[i] = tensor.Copy(w0)
+	}
+	return a, nil
+}
+
+// M returns the tier count.
+func (a *Aggregator) M() int { return a.m }
+
+// Rounds returns t, the number of global updates so far.
+func (a *Aggregator) Rounds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// TierCounts returns a copy of the per-tier update counters T_tier.
+func (a *Aggregator) TierCounts() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, a.m)
+	copy(out, a.counts)
+	return out
+}
+
+// Global returns a copy of the current global model w_t.
+func (a *Aggregator) Global() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return tensor.Copy(a.global)
+}
+
+// TierModel returns a copy of tier m's current model.
+func (a *Aggregator) TierModel(m int) []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return tensor.Copy(a.tierW[m])
+}
+
+// TierWeights returns the Eq. 5 aggregation weights that the NEXT global
+// average will use: weight of tier m is proportional to T_tier(M+1−m)
+// (1-indexed in the paper; mirrored index here), with add-one smoothing —
+// weight_m = (T_tier(M+1−m)+1)/(T+M).
+//
+// The smoothing is a deliberate, documented deviation from the literal
+// Eq. 5: taken verbatim, the formula assigns weight T_tierM/T = 0 to the
+// only tier that HAS updated during the early rounds (its mirror partner
+// has no updates yet), collapsing the global model back to w0. Add-one
+// smoothing preserves the paper's ordering property (slower tiers weigh
+// more), keeps Σ weights = 1, reduces to exactly 1 for a single tier
+// (FedAT = FedAvg, §4.1), and converges to the literal Eq. 5 as T grows.
+// In uniform mode every tier weighs 1/M (the Figure 6 ablation).
+func (a *Aggregator) TierWeights() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tierWeightsLocked()
+}
+
+func (a *Aggregator) tierWeightsLocked() []float64 {
+	w := make([]float64, a.m)
+	if !a.weighted {
+		for i := range w {
+			w[i] = 1 / float64(a.m)
+		}
+		return w
+	}
+	den := float64(a.total + a.m)
+	for m := 0; m < a.m; m++ {
+		// Paper (1-indexed): weight of tier m mirrors T_tier(M+1−m).
+		// 0-indexed: counts[M−1−m], plus the smoothing pseudo-count.
+		w[m] = (float64(a.counts[a.m-1-m]) + 1) / den
+	}
+	return w
+}
+
+// ClientUpdate is one client's contribution to a tier round.
+type ClientUpdate struct {
+	Weights []float64
+	N       int // n_k, the client's local sample count
+}
+
+// UpdateTier performs one tier-m round (the body of Algorithm 2): the
+// clients' models are n_k-weighted into w_tier m, the counters advance, and
+// the global model is recomputed as the cross-tier weighted average. It
+// returns a copy of the fresh global model.
+func (a *Aggregator) UpdateTier(m int, updates []ClientUpdate) ([]float64, error) {
+	if m < 0 || m >= a.m {
+		return nil, fmt.Errorf("core: tier %d out of range [0,%d)", m, a.m)
+	}
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("core: tier %d round with no client updates", m)
+	}
+	nc := 0
+	for _, u := range updates {
+		if len(u.Weights) != len(a.global) {
+			return nil, fmt.Errorf("core: client update has %d weights, want %d", len(u.Weights), len(a.global))
+		}
+		if u.N <= 0 {
+			return nil, fmt.Errorf("core: client update with non-positive sample count %d", u.N)
+		}
+		nc += u.N
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// w_tier m = Σ n_k/N_c · w_k
+	dst := a.tierW[m]
+	tensor.Zero(dst)
+	for _, u := range updates {
+		tensor.Axpy(float64(u.N)/float64(nc), u.Weights, dst)
+	}
+	a.counts[m]++
+	a.total++
+	a.recomputeGlobalLocked()
+	return tensor.Copy(a.global), nil
+}
+
+func (a *Aggregator) recomputeGlobalLocked() {
+	ws := a.tierWeightsLocked()
+	tensor.WeightedSumInto(a.global, ws, a.tierW)
+}
+
+// Reset restores the aggregator to its initial state (used between
+// experiment repetitions).
+func (a *Aggregator) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.tierW {
+		copy(a.tierW[i], a.w0)
+	}
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	a.total = 0
+	copy(a.global, a.w0)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob-serializable form of the aggregator state, so a
+// long-running FedAT server can checkpoint across restarts without losing
+// the per-tier models and counters that Eq. 5 depends on.
+type snapshot struct {
+	M        int
+	Weighted bool
+	TierW    [][]float64
+	Counts   []int
+	Total    int
+	Global   []float64
+	W0       []float64
+}
+
+// Save writes a checkpoint of the full server state.
+func (a *Aggregator) Save(w io.Writer) error {
+	a.mu.Lock()
+	snap := snapshot{
+		M:        a.m,
+		Weighted: a.weighted,
+		TierW:    make([][]float64, a.m),
+		Counts:   append([]int(nil), a.counts...),
+		Total:    a.total,
+		Global:   append([]float64(nil), a.global...),
+		W0:       append([]float64(nil), a.w0...),
+	}
+	for i, tw := range a.tierW {
+		snap.TierW[i] = append([]float64(nil), tw...)
+	}
+	a.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadAggregator restores an aggregator from a Save checkpoint.
+func LoadAggregator(r io.Reader) (*Aggregator, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if snap.M <= 0 || len(snap.TierW) != snap.M || len(snap.Counts) != snap.M {
+		return nil, fmt.Errorf("core: corrupt checkpoint: %d tiers, %d models, %d counters",
+			snap.M, len(snap.TierW), len(snap.Counts))
+	}
+	dim := len(snap.Global)
+	if dim == 0 || len(snap.W0) != dim {
+		return nil, fmt.Errorf("core: corrupt checkpoint: empty or inconsistent weights")
+	}
+	total := 0
+	for i, tw := range snap.TierW {
+		if len(tw) != dim {
+			return nil, fmt.Errorf("core: corrupt checkpoint: tier %d has %d weights, want %d", i, len(tw), dim)
+		}
+		if snap.Counts[i] < 0 {
+			return nil, fmt.Errorf("core: corrupt checkpoint: negative counter")
+		}
+		total += snap.Counts[i]
+	}
+	if total != snap.Total {
+		return nil, fmt.Errorf("core: corrupt checkpoint: counters sum to %d, total says %d", total, snap.Total)
+	}
+	return &Aggregator{
+		m:        snap.M,
+		weighted: snap.Weighted,
+		tierW:    snap.TierW,
+		counts:   snap.Counts,
+		total:    snap.Total,
+		global:   snap.Global,
+		w0:       snap.W0,
+	}, nil
+}

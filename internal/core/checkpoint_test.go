@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	a := newAgg(t, 3, []float64{1, 2, 3}, true)
+	a.UpdateTier(0, []ClientUpdate{{Weights: []float64{4, 5, 6}, N: 2}})
+	a.UpdateTier(2, []ClientUpdate{{Weights: []float64{-1, 0, 1}, N: 1}})
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadAggregator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds() != a.Rounds() || b.M() != a.M() {
+		t.Fatalf("restored shape wrong: rounds=%d tiers=%d", b.Rounds(), b.M())
+	}
+	ga, gb := a.Global(), b.Global()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("restored global differs at %d: %v vs %v", i, ga[i], gb[i])
+		}
+	}
+	ca, cb := a.TierCounts(), b.TierCounts()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("restored counters differ: %v vs %v", ca, cb)
+		}
+	}
+	// The restored aggregator must keep functioning identically.
+	wa, _ := a.UpdateTier(1, []ClientUpdate{{Weights: []float64{9, 9, 9}, N: 1}})
+	wb, _ := b.UpdateTier(1, []ClientUpdate{{Weights: []float64{9, 9, 9}, N: 1}})
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("restored aggregator diverges from original after next update")
+		}
+	}
+}
+
+func TestCheckpointPreservesUniformMode(t *testing.T) {
+	a := newAgg(t, 2, []float64{0}, false)
+	for i := 0; i < 5; i++ {
+		a.UpdateTier(0, []ClientUpdate{{Weights: []float64{2}, N: 1}})
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadAggregator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.TierWeights()
+	if w[0] != 0.5 || w[1] != 0.5 {
+		t.Fatalf("uniform mode lost across checkpoint: %v", w)
+	}
+}
+
+func TestLoadCorruptCheckpoint(t *testing.T) {
+	if _, err := LoadAggregator(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated valid stream.
+	a := newAgg(t, 2, []float64{1}, true)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAggregator(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

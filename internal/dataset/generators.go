@@ -1,0 +1,212 @@
+package dataset
+
+import "repro/internal/rng"
+
+// imageGen produces class-conditional Gaussian images: every class has a
+// fixed prototype; a sample is prototype·Signal + N(0, Noise²). The
+// prototypes are shared by all clients, so a model generalizes across
+// clients exactly when it learns the class structure — the property the
+// non-IID experiments stress.
+type imageGen struct {
+	protos [][]float64
+	signal float64
+	noise  float64
+}
+
+func newImageGen(r *rng.RNG, cfg Config) *imageGen {
+	dim := cfg.ImgC * cfg.ImgH * cfg.ImgW
+	signal := cfg.Signal
+	if signal == 0 {
+		signal = 1
+	}
+	noise := cfg.Noise
+	if noise == 0 {
+		noise = 1
+	}
+	g := &imageGen{signal: signal, noise: noise, protos: make([][]float64, cfg.Classes)}
+	for c := range g.protos {
+		cr := r.SplitLabeled(uint64(c))
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = cr.Norm()
+		}
+		g.protos[c] = p
+	}
+	return g
+}
+
+func (g *imageGen) sample(r *rng.RNG, class int, row []float64) int {
+	p := g.protos[class]
+	for i := range row {
+		row[i] = g.signal*p[i] + g.noise*r.Norm()
+	}
+	return class
+}
+
+// tokenGen produces sequences from a random walk over a fixed, deterministic
+// transition structure on the vocabulary. The label is a sampled successor
+// of the final token (next-token prediction, as in the Reddit task). The
+// Bayes-optimal accuracy is bounded by the transition entropy: an argmax
+// predictor that fully learned the chain scores succProb, so measured
+// accuracies live in the same sub-0.5 regime as the paper's Reddit numbers.
+type tokenGen struct {
+	vocab    int
+	seqLen   int
+	succProb float64 // probability of the primary successor
+	altProb  float64 // probability of the secondary successor
+}
+
+func newTokenGen(cfg Config) *tokenGen {
+	return &tokenGen{vocab: cfg.Vocab, seqLen: cfg.SeqLen, succProb: 0.5, altProb: 0.3}
+}
+
+// succ1 and succ2 define the chain structure: affine maps mod vocab chosen
+// coprime-ish so the chain mixes over the whole vocabulary.
+func (g *tokenGen) succ1(t int) int { return (t*7 + 3) % g.vocab }
+func (g *tokenGen) succ2(t int) int { return (t*11 + 5) % g.vocab }
+
+func (g *tokenGen) next(r *rng.RNG, t int) int {
+	u := r.Float64()
+	switch {
+	case u < g.succProb:
+		return g.succ1(t)
+	case u < g.succProb+g.altProb:
+		return g.succ2(t)
+	default:
+		return r.Intn(g.vocab)
+	}
+}
+
+func (g *tokenGen) sample(r *rng.RNG, class int, row []float64) int {
+	t := class % g.vocab // the client's class subset acts as the walk start region
+	row[0] = float64(t)
+	for i := 1; i < g.seqLen; i++ {
+		t = g.next(r, t)
+		row[i] = float64(t)
+	}
+	return g.next(r, t)
+}
+
+// ---------------------------------------------------------------------------
+// Named dataset constructors matching the paper's five benchmarks (§6).
+// Scale controls sample counts and geometry; Scale 1 keeps experiments
+// laptop-sized, larger scales approach the paper's sizes.
+
+// Scale selects a dataset size preset.
+type Scale int
+
+// Dataset size presets.
+const (
+	ScaleSmall  Scale = iota // CI-sized: fast tests
+	ScaleMedium              // default experiment size
+	ScalePaper               // closest to the paper's client/sample counts
+)
+
+func (s Scale) samples(small, medium, paper int) int {
+	switch s {
+	case ScaleSmall:
+		return small
+	case ScalePaper:
+		return paper
+	default:
+		return medium
+	}
+}
+
+// CIFAR10Like mirrors the CIFAR-10 setup: 10 classes, RGB images, 100
+// clients partitioned with classesPerClient classes each (2/4/6/8 in the
+// paper's Table 1; 0 = IID).
+func CIFAR10Like(numClients, classesPerClient int, scale Scale, seed uint64) (*Federated, error) {
+	side := 10
+	if scale == ScalePaper {
+		side = 32
+	}
+	return Generate(Config{
+		Name:             "cifar10like",
+		NumClients:       numClients,
+		Classes:          10,
+		SamplesPerClient: scale.samples(24, 60, 600),
+		ClassesPerClient: classesPerClient,
+		Seed:             seed,
+		ImgC:             3, ImgH: side, ImgW: side,
+		// Tuned so a centralized learner tops out near the paper's CIFAR
+		// accuracies (~0.6-0.7) instead of saturating.
+		Signal: 0.15, Noise: 1.0,
+	})
+}
+
+// FashionLike mirrors Fashion-MNIST: 10 classes, grayscale, easier than
+// CIFAR (the paper's accuracies are ~0.86 vs ~0.59).
+func FashionLike(numClients, classesPerClient int, scale Scale, seed uint64) (*Federated, error) {
+	side := 10
+	if scale == ScalePaper {
+		side = 28
+	}
+	return Generate(Config{
+		Name:             "fashionlike",
+		NumClients:       numClients,
+		Classes:          10,
+		SamplesPerClient: scale.samples(24, 60, 700),
+		ClassesPerClient: classesPerClient,
+		Seed:             seed,
+		ImgC:             1, ImgH: side, ImgW: side,
+		Signal: 0.34, Noise: 1.0, // easier than CIFAR: paper tops ~0.87
+	})
+}
+
+// Sent140Like mirrors Sentiment140: binary sentiment over dense text
+// features, trained with logistic regression (the paper's convex model).
+// Features are class-prototype Gaussians over a bag-of-words-sized dense
+// vector.
+func Sent140Like(numClients, classesPerClient int, scale Scale, seed uint64) (*Federated, error) {
+	return Generate(Config{
+		Name:             "sent140like",
+		NumClients:       numClients,
+		Classes:          2,
+		SamplesPerClient: scale.samples(24, 80, 400),
+		ClassesPerClient: classesPerClient,
+		Seed:             seed,
+		ImgC:             1, ImgH: 1, ImgW: 64, // dense 64-dim features
+		Signal: 0.17, Noise: 1.0, // modest separability: paper tops out ~0.75
+	})
+}
+
+// FEMNISTLike mirrors FEMNIST: 62 classes, grayscale, inherent data
+// heterogeneity (power-law sizes, skewed class subsets per client). The
+// class count stays at 62 across scales — reducing it makes the task
+// trivially saturable, which would hide the convergence differences the
+// large-scale experiments measure.
+func FEMNISTLike(numClients int, scale Scale, seed uint64) (*Federated, error) {
+	classes := 62
+	return Generate(Config{
+		Name:             "femnistlike",
+		NumClients:       numClients,
+		Classes:          classes,
+		SamplesPerClient: scale.samples(24, 50, 220),
+		ClassesPerClient: classes / 3, // inherent skew: each client sees a third
+		PowerLaw:         true,
+		Seed:             seed,
+		ImgC:             1, ImgH: 10, ImgW: 10,
+		Signal: 0.55, Noise: 1.0, // 62 classes: paper tops ~0.8
+	})
+}
+
+// RedditLike mirrors the Reddit next-token task: sequences over a
+// vocabulary with per-client start-region skew and power-law sizes.
+func RedditLike(numClients int, scale Scale, seed uint64) (*Federated, error) {
+	vocab := 64
+	if scale == ScalePaper {
+		vocab = 625 // PaperLSTM(16) vocabulary
+	}
+	return Generate(Config{
+		Name:             "redditlike",
+		NumClients:       numClients,
+		Classes:          vocab,
+		SamplesPerClient: scale.samples(24, 60, 200),
+		ClassesPerClient: vocab / 5, // per-client start region
+		PowerLaw:         true,
+		Seed:             seed,
+		Vocab:            vocab,
+		SeqLen:           10,
+	})
+}

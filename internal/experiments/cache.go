@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// Runs are deterministic given (preset, dataset spec, method, config
+// variant), so experiments that share underlying runs (Figure 2, Figure 4
+// and Table 2 all analyze the same training) reuse them through this cache
+// instead of re-simulating.
+var runCache = struct {
+	sync.Mutex
+	m map[string]*metrics.Run
+}{m: map[string]*metrics.Run{}}
+
+// cachedRunMethods is runMethods with memoization. variant must uniquely
+// describe the mutation applied to the RunConfig ("" for none); mutations
+// must be deterministic functions of the variant string.
+func cachedRunMethods(p Preset, d dsSpec, names []string, variant string, mutate func(*fl.RunConfig)) (map[string]*metrics.Run, error) {
+	out := make(map[string]*metrics.Run, len(names))
+	var missing []string
+	runCache.Lock()
+	for _, name := range names {
+		if run, ok := runCache.m[cacheKey(p, d, name, variant)]; ok {
+			out[name] = run
+		} else {
+			missing = append(missing, name)
+		}
+	}
+	runCache.Unlock()
+	if len(missing) == 0 {
+		return out, nil
+	}
+	sort.Strings(missing)
+	fresh, err := runMethods(p, d, missing, mutate)
+	if err != nil {
+		return nil, err
+	}
+	runCache.Lock()
+	for name, run := range fresh {
+		runCache.m[cacheKey(p, d, name, variant)] = run
+		out[name] = run
+	}
+	runCache.Unlock()
+	return out, nil
+}
+
+func cacheKey(p Preset, d dsSpec, method, variant string) string {
+	return strings.Join([]string{p.Name, d.label(), fmt.Sprint(d.large), method, variant}, "|")
+}
+
+// ClearCache drops memoized runs (tests use it to force fresh runs).
+func ClearCache() {
+	runCache.Lock()
+	runCache.m = map[string]*metrics.Run{}
+	runCache.Unlock()
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// figure2Specs are the three datasets whose convergence timelines Figure 2
+// plots (2-class non-IID).
+var figure2Specs = []dsSpec{
+	{name: "cifar10", classesPerClient: 2},
+	{name: "fashion", classesPerClient: 2},
+	{name: "sent140", classesPerClient: 2},
+}
+
+// Figure2 reproduces the accuracy-over-time curves and the
+// time-to-target-accuracy bar charts. The paper uses absolute targets
+// (0.47 / 0.76 / 0.735); since absolute accuracies depend on the substrate,
+// the target here is 90% of FedAT's best accuracy on each dataset, which
+// probes the same region of the curve.
+func Figure2(p Preset) (*Report, error) {
+	rep := &Report{ID: "fig2", Title: "Convergence timelines and time-to-target accuracy (paper Figure 2)"}
+	for _, spec := range figure2Specs {
+		runs, err := cachedRunMethods(p, spec, table1Methods, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		for m, run := range runs {
+			rep.Keep(spec.label()+"/"+m, run)
+		}
+		rep.AddSection(
+			fmt.Sprintf("%s: smoothed test accuracy over virtual time", spec.label()),
+			timelineTable(runs, table1Methods, p.SmoothWindow, 6))
+
+		target := 0.9 * runs["fedat"].BestAcc()
+		bar := metrics.NewTable("method", fmt.Sprintf("time to %.3f acc", target), "vs FedAT")
+		fedatTime, _ := runs["fedat"].TimeToAccuracy(target)
+		for _, m := range table1Methods {
+			tt, ok := runs[m].TimeToAccuracy(target)
+			if !ok {
+				bar.AddRow(methodLabel(m), "not reached", "-")
+				continue
+			}
+			rel := "-"
+			if fedatTime > 0 {
+				rel = fmt.Sprintf("%.2fx", tt/fedatTime)
+			}
+			bar.AddRow(methodLabel(m), fmtTime(tt), rel)
+		}
+		rep.AddSection(fmt.Sprintf("%s: time to target accuracy", spec.label()), bar)
+	}
+	rep.AddText("Paper shape: FedAT reaches the target several times faster than TiFL/FedAvg/FedProx " +
+		"(5.3–5.8x on CIFAR-10); FedAsync fails to reach it on the image datasets.")
+	return rep, nil
+}
+
+// figure3Specs sweep the non-IID level on CIFAR-10.
+var figure3Specs = []dsSpec{
+	{name: "cifar10", classesPerClient: 4},
+	{name: "cifar10", classesPerClient: 6},
+	{name: "cifar10", classesPerClient: 8},
+	{name: "cifar10", classesPerClient: 0},
+}
+
+// Figure3 reproduces the convergence comparison across non-IID levels.
+func Figure3(p Preset) (*Report, error) {
+	rep := &Report{ID: "fig3", Title: "Convergence vs non-IID level on CIFAR-10 (paper Figure 3)"}
+	finals := metrics.NewTable(append([]string{"method"}, specLabels(figure3Specs)...)...)
+	rows := map[string][]string{}
+	for _, m := range table1Methods {
+		rows[m] = []string{methodLabel(m)}
+	}
+	for _, spec := range figure3Specs {
+		runs, err := cachedRunMethods(p, spec, table1Methods, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		for m, run := range runs {
+			rep.Keep(spec.label()+"/"+m, run)
+			rows[m] = append(rows[m], fmtAcc(run.BestAcc()))
+		}
+		rep.AddSection(
+			fmt.Sprintf("%s: smoothed accuracy over time", spec.label()),
+			timelineTable(runs, table1Methods, p.SmoothWindow, 6))
+	}
+	for _, m := range table1Methods {
+		finals.AddRow(rows[m]...)
+	}
+	rep.AddSection("Best accuracy per non-IID level", finals)
+	rep.AddText("Paper shape: every method improves as data becomes more IID; FedAT stays on top at " +
+		"every level, with the widest margin at the strongest (2-class) skew.")
+	return rep, nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestDiagMediumCifar is the medium-scale fidelity probe for the paper's
+// headline comparison (Table 1, cifar #2): with ~50 local steps per round
+// the non-IID drift is strong enough for FedAT's mechanisms to matter.
+// Run with -v; skipped in -short.
+func TestDiagMediumCifar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	if testing.Verbose() == false {
+		t.Skip("diagnostic: run with -v")
+	}
+	runs, err := runMethods(Medium, dsSpec{name: "cifar10", classesPerClient: 2},
+		[]string{"fedat", "fedavg", "fedasync"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"fedat", "fedavg", "fedasync"} {
+		r := runs[m]
+		t.Logf("%-9s rounds=%4d best=%.3f var=%.2e final-time=%.0fs up=%.1fMB",
+			m, r.GlobalRounds, r.BestAcc(), r.MeanVariance(),
+			r.Points[len(r.Points)-1].Time, float64(r.UpBytes)/1e6)
+	}
+}

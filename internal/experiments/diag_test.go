@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// TestDiagFedATDynamics is a diagnostic harness (run with -v) that prints
+// FedAT's convergence against FedAvg at increasing budgets; it asserts only
+// that FedAT keeps improving with budget, which guards against the global
+// ensemble stalling.
+func TestDiagFedATDynamics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := Small
+	spec := dsSpec{name: "cifar10", classesPerClient: 2}
+	var prev float64
+	for _, rounds := range []int{120, 360, 720} {
+		rounds := rounds
+		env, err := buildEnv(p, spec, func(cfg *fl.RunConfig) {
+			cfg.Rounds = rounds
+			cfg.EvalEvery = 10
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := fl.FedAT(env)
+		t.Logf("FedAT rounds=%d best=%.3f final=%.3f time=%.0fs",
+			rounds, run.BestAcc(), run.FinalAcc(), run.Points[len(run.Points)-1].Time)
+		if run.BestAcc()+0.02 < prev {
+			t.Fatalf("FedAT got worse with more budget: %.3f after %.3f", run.BestAcc(), prev)
+		}
+		prev = run.BestAcc()
+	}
+	env, err := buildEnv(p, spec, func(cfg *fl.RunConfig) {
+		cfg.Rounds = 360
+		cfg.EvalEvery = 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := fl.FedAvg(env)
+	t.Logf("FedAvg rounds=360 best=%.3f time=%.0fs", avg.BestAcc(), avg.Points[len(avg.Points)-1].Time)
+}

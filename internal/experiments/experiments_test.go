@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run everything at the Tiny preset: they validate
+// structure (every section renders, every run learns something, registry
+// coverage) rather than paper-scale numbers.
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	if len(Registry) < len(want) {
+		t.Fatalf("registry has %d entries, want >= %d", len(Registry), len(want))
+	}
+}
+
+func TestRunByIDUnknown(t *testing.T) {
+	if _, err := RunByID("nope", Tiny); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, err := PresetByName("tiny")
+	if err != nil || p.Name != "tiny" {
+		t.Fatalf("PresetByName(tiny) = %+v, %v", p, err)
+	}
+	if _, err := PresetByName("bogus"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestTable1Tiny(t *testing.T) {
+	rep, err := Table1(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"FedAT", "FedAvg", "FedProx", "FedAsync", "TiFL", "cifar10(#2)", "sent140"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table1 report missing %q:\n%s", want, s)
+		}
+	}
+	if len(rep.Runs) < 5*len(table1Specs) {
+		t.Fatalf("table1 kept %d runs, want %d", len(rep.Runs), 5*len(table1Specs))
+	}
+	for key, run := range rep.Runs {
+		if run.GlobalRounds == 0 {
+			t.Fatalf("run %s completed no rounds", key)
+		}
+		if run.BestAcc() <= 0 {
+			t.Fatalf("run %s has zero accuracy", key)
+		}
+	}
+}
+
+func TestFigure2And4AndTable2ShareRuns(t *testing.T) {
+	// These three analyze the same training runs; the cache must make the
+	// later ones cheap and identical.
+	rep2, err := Figure2(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := Figure4(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repT2, err := Table2(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := "cifar10(#2)/fedat"
+	if rep2.Runs[k] != rep4.Runs[k] || rep4.Runs[k] != repT2.Runs[k] {
+		t.Fatal("shared runs were re-simulated instead of cached")
+	}
+	if !strings.Contains(rep2.String(), "time to") {
+		t.Fatal("fig2 missing time-to-target section")
+	}
+	if !strings.Contains(repT2.String(), "MB") && !strings.Contains(repT2.String(), "-") {
+		t.Fatal("table2 missing byte cells")
+	}
+}
+
+func TestFigure3Tiny(t *testing.T) {
+	rep, err := Figure3(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "cifar10(iid)") {
+		t.Fatal("fig3 missing IID column")
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	rep, err := Figure5(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"Precision 3", "Precision 4", "No Compression", "ratio"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fig5 missing %q", want)
+		}
+	}
+	// Compression must actually reduce bytes vs raw.
+	raw := rep.Runs["No Compression"]
+	p4 := rep.Runs["Precision 4"]
+	if p4.UpBytes >= raw.UpBytes {
+		t.Fatalf("precision 4 (%d B) not below raw (%d B)", p4.UpBytes, raw.UpBytes)
+	}
+	// Lower precision → smaller payloads.
+	p3 := rep.Runs["Precision 3"]
+	p6 := rep.Runs["Precision 6"]
+	if float64(p3.UpBytes)/float64(p3.GlobalRounds) >= float64(p6.UpBytes)/float64(p6.GlobalRounds) {
+		t.Fatal("precision 3 payloads not smaller than precision 6")
+	}
+}
+
+func TestFigure6Tiny(t *testing.T) {
+	rep, err := Figure6(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "Uniform") {
+		t.Fatal("fig6 missing uniform column")
+	}
+	if rep.Runs["cifar10(#2)/weighted"] == rep.Runs["cifar10(#2)/uniform"] {
+		t.Fatal("weighted and uniform runs are the same object")
+	}
+}
+
+func TestFigure7Tiny(t *testing.T) {
+	rep, err := Figure7(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "ASO-Fed") {
+		t.Fatal("fig7 missing ASO-Fed")
+	}
+	if len(rep.Runs) != 6 {
+		t.Fatalf("fig7 kept %d runs, want 6", len(rep.Runs))
+	}
+}
+
+func TestFigure8Tiny(t *testing.T) {
+	rep, err := Figure8(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "loss") && !strings.Contains(s, "Loss") {
+		t.Fatal("fig8 missing loss section")
+	}
+	for _, m := range figure8Methods {
+		run := rep.Runs[m]
+		if run == nil || len(run.Points) == 0 {
+			t.Fatalf("fig8 run %s empty", m)
+		}
+	}
+}
+
+func TestFigure9Tiny(t *testing.T) {
+	rep, err := Figure9(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"2 clients", "15 clients"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fig9 missing %q", want)
+		}
+	}
+}
+
+func TestFigure10Tiny(t *testing.T) {
+	rep, err := Figure10(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"Uniform", "Slow", "Medium", "Fast"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fig10 missing %q", want)
+		}
+	}
+	// All four distributions must actually train.
+	for _, cfg := range figure10Configs {
+		if rep.Runs[cfg.label].GlobalRounds == 0 {
+			t.Fatalf("distribution %s completed no rounds", cfg.label)
+		}
+	}
+}
+
+func TestFracSizes(t *testing.T) {
+	for _, n := range []int{10, 25, 100, 500} {
+		for _, cfg := range figure10Configs {
+			sizes := fracSizes(n, cfg.frac)
+			total := 0
+			for _, s := range sizes {
+				if s < 1 {
+					t.Fatalf("fracSizes(%d, %s) has empty part: %v", n, cfg.label, sizes)
+				}
+				total += s
+			}
+			if total != n {
+				t.Fatalf("fracSizes(%d, %s) sums to %d: %v", n, cfg.label, total, sizes)
+			}
+		}
+	}
+}

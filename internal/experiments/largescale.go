@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// figure7Methods include ASO-Fed, which the paper only evaluates at large
+// scale (§7.4).
+var figure7Methods = []string{"fedat", "tifl", "fedavg", "fedprox", "fedasync", "asofed"}
+
+// Figure7 reproduces the large-scale FEMNIST experiment: accuracy over time
+// and accuracy over uploaded bytes with the large client population.
+func Figure7(p Preset) (*Report, error) {
+	rep := &Report{ID: "fig7", Title: "Large-scale FEMNIST: accuracy over time and bytes (paper Figure 7)"}
+	spec := dsSpec{name: "femnist", large: true}
+	runs, err := cachedRunMethods(p, spec, figure7Methods, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	for m, run := range runs {
+		rep.Keep(m, run)
+	}
+	rep.AddSection("Smoothed accuracy over virtual time",
+		timelineTable(runs, figure7Methods, p.SmoothWindow, 6))
+
+	tb := metrics.NewTable("method", "best acc", "total up-bytes", "up-bytes to 90% of FedAT best")
+	target := 0.9 * runs["fedat"].BestAcc()
+	for _, m := range figure7Methods {
+		run := runs[m]
+		cell := "not reached"
+		if b, ok := run.UploadBytesToAccuracy(target); ok {
+			cell = metrics.FormatBytes(b)
+		}
+		tb.AddRow(methodLabel(m), fmtAcc(run.BestAcc()), metrics.FormatBytes(run.UpBytes), cell)
+	}
+	rep.AddSection("Accuracy vs communication", tb)
+	rep.AddText("Paper shape: FedAT leads from the early stage and stays >=1.2% above FedProx/TiFL; " +
+		"FedAsync and ASO-Fed trail in accuracy and spend far more bytes.")
+	return rep, nil
+}
+
+// figure8Methods are the three frameworks the Reddit comparison keeps (the
+// async baselines fail to converge on Reddit, §7.4).
+var figure8Methods = []string{"fedat", "tifl", "fedprox"}
+
+// Figure8 reproduces the Reddit LSTM experiment: accuracy and loss over
+// time.
+func Figure8(p Preset) (*Report, error) {
+	rep := &Report{ID: "fig8", Title: "Reddit LSTM: accuracy and loss over time (paper Figure 8)"}
+	spec := dsSpec{name: "reddit", large: true}
+	runs, err := cachedRunMethods(p, spec, figure8Methods, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	for m, run := range runs {
+		rep.Keep(m, run)
+	}
+	rep.AddSection("Smoothed accuracy over virtual time",
+		timelineTable(runs, figure8Methods, p.SmoothWindow, 6))
+
+	loss := metrics.NewTable("method", "first loss", "final loss", "best acc")
+	for _, m := range figure8Methods {
+		run := runs[m]
+		first := 0.0
+		if len(run.Points) > 0 {
+			first = run.Points[0].Loss
+		}
+		loss.AddRow(methodLabel(m), fmt.Sprintf("%.3f", first), fmt.Sprintf("%.3f", run.FinalLoss()), fmtAcc(run.BestAcc()))
+	}
+	rep.AddSection("Test loss trajectory", loss)
+	rep.AddText("Paper shape: similar learning trends for all three, with FedAT holding the best " +
+		"accuracy and the lowest loss throughout.")
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable paper artifact reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Preset) (*Report, error)
+}
+
+// Registry maps experiment ids to runners, one per paper table/figure.
+var Registry = map[string]Experiment{
+	"table1": {"table1", "Prediction performance and variance", Table1},
+	"fig2":   {"fig2", "Convergence timelines + time to target", Figure2},
+	"fig3":   {"fig3", "Convergence vs non-IID level", Figure3},
+	"fig4":   {"fig4", "Accuracy vs uploaded bytes", Figure4},
+	"table2": {"table2", "Data transferred to target accuracy", Table2},
+	"fig5":   {"fig5", "Compression precision tradeoff", Figure5},
+	"fig6":   {"fig6", "Weighted vs uniform aggregation", Figure6},
+	"fig7":   {"fig7", "Large-scale FEMNIST", Figure7},
+	"fig8":   {"fig8", "Reddit LSTM", Figure8},
+	"fig9":   {"fig9", "Client participation sweep", Figure9},
+	"fig10":  {"fig10", "Tier-size distributions", Figure10},
+
+	// Extensions beyond the paper's figures (see DESIGN.md §3).
+	"ablation-mistier":   {"ablation-mistier", "Mis-tiering tolerance", AblationMisTier},
+	"ablation-staleness": {"ablation-staleness", "FedAsync staleness sweep", AblationStaleness},
+	"ablation-lambda":    {"ablation-lambda", "Proximal λ sweep", AblationLambda},
+	"ablation-oversel":   {"ablation-oversel", "Over-selection baseline", AblationOverSelect},
+	"theory":             {"theory", "Empirical §5 convergence check", TheoryValidation},
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunByID executes one experiment.
+func RunByID(id string, p Preset) (*Report, error) {
+	exp, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return exp.Run(p)
+}

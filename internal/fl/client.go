@@ -1,0 +1,131 @@
+// Package fl assembles the substrates into runnable federated-learning
+// methods: the shared client trainer, the evaluation harness, communication
+// accounting, and the six methods the paper compares — FedAT plus the
+// FedAvg, FedProx, TiFL, FedAsync and ASO-Fed baselines. All methods run on
+// the discrete-event simulator so time-to-accuracy comparisons share one
+// clock and one straggler model.
+package fl
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// Client couples one participant's local data, model replica, optimizer and
+// simulated runtime. A Client is owned by one goroutine at a time; the
+// round runners enforce that.
+type Client struct {
+	ID      int
+	Data    *dataset.ClientData
+	Net     *nn.Network
+	Opt     opt.Optimizer
+	Runtime *simnet.ClientRuntime
+
+	scheduleRNG *rng.RNG // fixed pseudo-random mini-batch schedule (§6)
+	batchX      *tensor.Mat
+	batchY      []int
+}
+
+// NewLocalClient builds a Client without a simulated runtime, for callers
+// that live on real clocks (the TCP transport) or drive training directly
+// (tests, examples).
+func NewLocalClient(id int, data *dataset.ClientData, net *nn.Network, o opt.Optimizer, seed uint64) *Client {
+	return &Client{
+		ID:          id,
+		Data:        data,
+		Net:         net,
+		Opt:         o,
+		scheduleRNG: rng.New(seed).SplitLabeled(uint64(500_000 + id)),
+	}
+}
+
+// LocalConfig drives one round of local training.
+type LocalConfig struct {
+	Epochs    int
+	BatchSize int
+	// Lambda is the proximal coefficient of Eq. 3; 0 disables the
+	// constraint (plain FedAvg-style local SGD).
+	Lambda float64
+	// Round selects the client's fixed pseudo-random mini-batch schedule:
+	// the same (client, round) pair always yields the same batches, the
+	// fairness device of §6 applied across all compared methods.
+	Round uint64
+}
+
+// Steps returns the number of mini-batch steps a round performs on n
+// samples — also the unit of simulated compute time.
+func (lc LocalConfig) Steps(n int) int {
+	if n == 0 {
+		return 0
+	}
+	perEpoch := (n + lc.BatchSize - 1) / lc.BatchSize
+	return perEpoch * lc.Epochs
+}
+
+// TrainLocal runs the paper's local update: starting from globalW, perform
+// Epochs passes of mini-batch training minimizing
+// h_k(w) = F_k(w) + λ/2·‖w−globalW‖² (Eq. 3), and return a copy of the
+// resulting weights plus the number of batch steps executed.
+func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) {
+	n := c.Data.NumTrain()
+	if n == 0 {
+		return tensor.Copy(globalW), 0
+	}
+	c.Net.SetWeights(globalW)
+	c.Opt.Reset()
+
+	bs := lc.BatchSize
+	if bs > n {
+		bs = n
+	}
+	if c.batchX == nil || c.batchX.R != bs || c.batchX.C != c.Data.TrainX.C {
+		c.batchX = tensor.NewMat(bs, c.Data.TrainX.C)
+		c.batchY = make([]int, bs)
+	}
+
+	sched := c.scheduleRNG.SplitLabeled(lc.Round)
+	steps := 0
+	for e := 0; e < lc.Epochs; e++ {
+		order := sched.Perm(n)
+		for lo := 0; lo < n; lo += bs {
+			hi := lo + bs
+			if hi > n {
+				hi = n
+			}
+			m := hi - lo
+			bx := c.batchX
+			by := c.batchY
+			if m != bs {
+				bx = tensor.MatFrom(m, c.Data.TrainX.C, c.batchX.Data[:m*c.Data.TrainX.C])
+				by = c.batchY[:m]
+			}
+			for i := 0; i < m; i++ {
+				src := order[lo+i]
+				copy(bx.Row(i), c.Data.TrainX.Row(src))
+				by[i] = c.Data.TrainY[src]
+			}
+			c.Net.ZeroGrad()
+			c.Net.Backprop(bx, by)
+			opt.AddProximal(c.Net.Grads(), c.Net.Weights(), globalW, lc.Lambda)
+			c.Opt.Step(c.Net.Weights(), c.Net.Grads())
+			steps++
+		}
+	}
+	return c.Net.WeightsCopy(), steps
+}
+
+// EvalLocal evaluates weights w on the client's held-out split and returns
+// (correct, total, loss·total) so callers can aggregate.
+func (c *Client) EvalLocal(w []float64) (correct, total int, lossSum float64) {
+	total = c.Data.NumTest()
+	if total == 0 {
+		return 0, 0, 0
+	}
+	c.Net.SetWeights(w)
+	correct, loss := c.Net.Eval(c.Data.TestX, c.Data.TestY)
+	return correct, total, loss * float64(total)
+}

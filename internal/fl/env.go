@@ -1,0 +1,361 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// RunConfig holds the hyperparameters shared by every method (§6) plus the
+// method-specific knobs.
+type RunConfig struct {
+	Rounds          int     // global update budget T
+	ClientsPerRound int     // |S| (10 in the paper)
+	LocalEpochs     int     // E (3 in the paper)
+	BatchSize       int     // 10 in the paper
+	Lambda          float64 // proximal coefficient (0.4 in the paper)
+	LearningRate    float64
+	UseSGD          bool // default is Adam, the paper's local solver
+
+	NumTiers int // M (5 in the paper)
+
+	// Codec compresses FedAT's uplink and downlink (§4.3); nil means
+	// codec.Raw. Baselines always use Raw, matching the paper where only
+	// FedAT compresses.
+	Codec codec.Codec
+
+	// UniformAgg disables Eq. 5 in favour of uniform tier weights — the
+	// Figure 6 ablation.
+	UniformAgg bool
+
+	// FedAsync mixing: α and the polynomial staleness exponent a in
+	// α_t = α·(staleness+1)^(−a).
+	AsyncAlpha    float64
+	AsyncStaleExp float64
+
+	// TiFL adaptive selection parameters.
+	TiFLCredits  int
+	TiFLInterval int
+
+	// MisTierFrac corrupts this fraction of the profiled latencies before
+	// tiering (clients land in arbitrary tiers) — the mis-profiling
+	// scenario §2.1 argues FedAT tolerates but TiFL does not. 0 disables.
+	MisTierFrac float64
+
+	// EvalEvery evaluates the global model every this many global updates
+	// (1 = every update).
+	EvalEvery int
+	// MaxSimTime stops a run after this much virtual time (0 = no limit).
+	MaxSimTime float64
+
+	Seed uint64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.ClientsPerRound <= 0 {
+		c.ClientsPerRound = 10
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 10
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.NumTiers <= 0 {
+		c.NumTiers = 5
+	}
+	if c.Codec == nil {
+		c.Codec = codec.Raw{}
+	}
+	if c.AsyncAlpha <= 0 {
+		c.AsyncAlpha = 0.6
+	}
+	if c.AsyncStaleExp < 0 {
+		c.AsyncStaleExp = 0.5
+	}
+	if c.AsyncStaleExp == 0 {
+		c.AsyncStaleExp = 0.5
+	}
+	if c.TiFLCredits <= 0 {
+		c.TiFLCredits = 20
+	}
+	if c.TiFLInterval <= 0 {
+		c.TiFLInterval = 10
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	return c
+}
+
+// ModelFactory builds one model replica. Every call must produce the same
+// architecture (identical flat-vector layout); the seed only varies the
+// initialization.
+type ModelFactory func(seed uint64) *nn.Network
+
+// Env is everything a method needs to run: the population, the virtual
+// cluster, per-client state and the shared evaluation harness.
+type Env struct {
+	Fed     *dataset.Federated
+	Cluster *simnet.Cluster
+	Clients []*Client
+	Eval    *Evaluator
+	Cfg     RunConfig
+
+	factory ModelFactory
+	w0      []float64
+	shapes  []codec.ShapeInfo
+}
+
+// NewEnv wires a federated dataset to a simulated cluster and constructs
+// per-client model replicas. The cluster must have exactly one runtime per
+// dataset client.
+func NewEnv(fed *dataset.Federated, cluster *simnet.Cluster, factory ModelFactory, cfg RunConfig) (*Env, error) {
+	if len(cluster.Clients) != len(fed.Clients) {
+		return nil, fmt.Errorf("fl: cluster has %d clients, dataset has %d", len(cluster.Clients), len(fed.Clients))
+	}
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+
+	ref := factory(cfg.Seed)
+	shapes := make([]codec.ShapeInfo, 0, len(ref.ParamShapes()))
+	for _, s := range ref.ParamShapes() {
+		shapes = append(shapes, codec.ShapeInfo{Name: s.Name, Dims: s.Dims})
+	}
+
+	env := &Env{
+		Fed:     fed,
+		Cluster: cluster,
+		Cfg:     cfg,
+		factory: factory,
+		w0:      ref.WeightsCopy(),
+		shapes:  shapes,
+	}
+	env.Clients = make([]*Client, len(fed.Clients))
+	for i := range fed.Clients {
+		var o opt.Optimizer
+		if cfg.UseSGD {
+			o = opt.NewSGD(cfg.LearningRate)
+		} else {
+			o = opt.NewAdam(cfg.LearningRate)
+		}
+		env.Clients[i] = &Client{
+			ID:          i,
+			Data:        fed.Clients[i],
+			Net:         factory(cfg.Seed), // same init everywhere; server state rules
+			Opt:         o,
+			Runtime:     cluster.Clients[i],
+			scheduleRNG: root.SplitLabeled(uint64(500_000 + i)),
+		}
+	}
+	env.Eval = NewEvaluator(factory, cfg.Seed, env.Clients)
+	return env, nil
+}
+
+// InitialWeights returns a copy of w0.
+func (e *Env) InitialWeights() []float64 {
+	out := make([]float64, len(e.w0))
+	copy(out, e.w0)
+	return out
+}
+
+// Shapes returns the model's parameter-block shapes (for the codec).
+func (e *Env) Shapes() []codec.ShapeInfo { return e.shapes }
+
+// LocalConfig derives the per-round local training settings with the given
+// proximal coefficient.
+func (e *Env) LocalConfig(lambda float64, round uint64) LocalConfig {
+	return LocalConfig{
+		Epochs:    e.Cfg.LocalEpochs,
+		BatchSize: e.Cfg.BatchSize,
+		Lambda:    lambda,
+		Round:     round,
+	}
+}
+
+// ResetState restores per-client and cluster link state so one Env can run
+// several methods back-to-back under identical conditions.
+func (e *Env) ResetState() {
+	e.Cluster.ServerUp.Reset()
+	e.Cluster.ServerDown.Reset()
+	for _, c := range e.Clients {
+		c.Opt.Reset()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Communication accounting
+
+// Comm applies a codec to every model exchange and tallies the bytes, which
+// is both the lossy channel (§4.3) and the measurement for Table 2 /
+// Figure 4.
+type Comm struct {
+	codec       codec.Codec
+	headerBytes int
+	Up, Down    int64
+}
+
+// NewComm builds the channel for one run.
+func NewComm(c codec.Codec, shapes []codec.ShapeInfo) *Comm {
+	// Header cost mirrors MarshalModel's wire format: codec id, precision,
+	// shape table, payload length.
+	hdr := 2 + 2 + 4
+	for _, s := range shapes {
+		hdr += 1 + len(s.Name) + 1 + 4*len(s.Dims)
+	}
+	return &Comm{codec: c, headerBytes: hdr}
+}
+
+// Transmit passes w through the lossy channel in the given direction,
+// returning the weights the receiver reconstructs and the marshalled
+// message size in bytes. Byte counters accumulate the size.
+func (cm *Comm) Transmit(w []float64, uplink bool) ([]float64, int) {
+	payload := cm.codec.Encode(w)
+	size := cm.headerBytes + len(payload)
+	if uplink {
+		cm.Up += int64(size)
+	} else {
+		cm.Down += int64(size)
+	}
+	out := make([]float64, len(w))
+	if err := cm.codec.Decode(payload, out); err != nil {
+		// The codec round-trips its own output by construction; a failure
+		// here is a programming error, not an I/O condition.
+		panic(fmt.Sprintf("fl: codec %s failed to decode its own payload: %v", cm.codec.Name(), err))
+	}
+	return out, size
+}
+
+// MessageBytes returns the marshalled size of w without transmitting.
+func (cm *Comm) MessageBytes(w []float64) int {
+	return cm.headerBytes + len(cm.codec.Encode(w))
+}
+
+// CountControl adds small control-plane traffic (e.g. TiFL's accuracy
+// collection) to the byte totals.
+func (cm *Comm) CountControl(bytes int64, uplink bool) {
+	if uplink {
+		cm.Up += bytes
+	} else {
+		cm.Down += bytes
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation harness
+
+// Evaluator measures a weight vector against every client's held-out data,
+// producing the three robustness metrics of Definition 3.1: prediction
+// accuracy (sample-weighted mean), cross-client accuracy variance, and —
+// through the caller's time series — convergence speed. Evaluation costs no
+// virtual time and no simulated communication; the paper likewise excludes
+// test-set evaluation from its measurements.
+type Evaluator struct {
+	clients []*Client
+	nets    []*nn.Network
+}
+
+// NewEvaluator builds the harness with one model replica per parallel
+// worker.
+func NewEvaluator(factory ModelFactory, seed uint64, clients []*Client) *Evaluator {
+	workers := 4
+	if len(clients) < workers {
+		workers = len(clients)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Evaluator{clients: clients}
+	for i := 0; i < workers; i++ {
+		e.nets = append(e.nets, factory(seed))
+	}
+	return e
+}
+
+// Result is one evaluation of a global model.
+type Result struct {
+	Acc      float64 // sample-weighted mean accuracy
+	Loss     float64 // sample-weighted mean loss
+	Variance float64 // population variance of per-client accuracies
+}
+
+// Evaluate runs the model on every client's test split.
+func (e *Evaluator) Evaluate(w []float64) Result {
+	accs := make([]float64, len(e.clients))
+	correct := make([]int, len(e.clients))
+	totals := make([]int, len(e.clients))
+	losses := make([]float64, len(e.clients))
+
+	var wg sync.WaitGroup
+	nw := len(e.nets)
+	wg.Add(nw)
+	for wk := 0; wk < nw; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			net := e.nets[wk]
+			net.SetWeights(w)
+			for i := wk; i < len(e.clients); i += nw {
+				c := e.clients[i]
+				if c.Data.NumTest() == 0 {
+					continue
+				}
+				cor, loss := net.Eval(c.Data.TestX, c.Data.TestY)
+				correct[i] = cor
+				totals[i] = c.Data.NumTest()
+				losses[i] = loss * float64(totals[i])
+				accs[i] = float64(cor) / float64(totals[i])
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	totCorrect, totSamples := 0, 0
+	totLoss := 0.0
+	for i := range e.clients {
+		totCorrect += correct[i]
+		totSamples += totals[i]
+		totLoss += losses[i]
+	}
+	if totSamples == 0 {
+		return Result{}
+	}
+	return Result{
+		Acc:      float64(totCorrect) / float64(totSamples),
+		Loss:     totLoss / float64(totSamples),
+		Variance: metrics.Variance(accs),
+	}
+}
+
+// EvaluateSubset measures the model on a subset of clients (TiFL's per-tier
+// accuracy collection). It returns the subset's sample-weighted accuracy.
+func (e *Evaluator) EvaluateSubset(w []float64, ids []int) float64 {
+	net := e.nets[0]
+	net.SetWeights(w)
+	correct, total := 0, 0
+	for _, id := range ids {
+		c := e.clients[id]
+		if c.Data.NumTest() == 0 {
+			continue
+		}
+		cor, _ := net.Eval(c.Data.TestX, c.Data.TestY)
+		correct += cor
+		total += c.Data.NumTest()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,97 @@
+package fl
+
+import (
+	"testing"
+)
+
+func TestOverSelectionCompletesAndLearns(t *testing.T) {
+	cfg := baseCfg()
+	env := testEnv(t, 0, cfg)
+	run := FedAvgOverSel(env)
+	if run.GlobalRounds == 0 {
+		t.Fatal("no rounds completed")
+	}
+	if run.BestAcc() < 0.18 {
+		t.Fatalf("over-selection failed to learn: %.3f", run.BestAcc())
+	}
+}
+
+func TestOverSelectionShortensRounds(t *testing.T) {
+	// Dropping the slowest 30% of selected clients means the round barrier
+	// is an earlier order statistic: per-update time must not exceed plain
+	// FedAvg's.
+	cfg := baseCfg()
+	cfg.Rounds = 30
+	envA := testEnv(t, 0, cfg)
+	plain := FedAvg(envA)
+	envB := testEnv(t, 0, cfg)
+	over := FedAvgOverSel(envB)
+	pa := plain.Points[len(plain.Points)-1].Time / float64(plain.GlobalRounds)
+	po := over.Points[len(over.Points)-1].Time / float64(over.GlobalRounds)
+	if po > pa*1.02 {
+		t.Fatalf("over-selection per-update time %.2fs not below FedAvg's %.2fs", po, pa)
+	}
+	// ...but it uploads more per update (the discarded 30% still trained).
+	ba := float64(plain.UpBytes) / float64(plain.GlobalRounds)
+	bo := float64(over.UpBytes) / float64(over.GlobalRounds)
+	if bo <= ba {
+		t.Fatalf("over-selection upload/update %.0fB not above FedAvg's %.0fB", bo, ba)
+	}
+}
+
+func TestMisTieringScramblesTiers(t *testing.T) {
+	cfg := baseCfg()
+	env := testEnv(t, 0, cfg)
+	clean := ProfileTiers(env)
+
+	cfgBad := baseCfg()
+	cfgBad.MisTierFrac = 0.5
+	envBad := testEnv(t, 0, cfgBad)
+	dirty := ProfileTiers(envBad)
+
+	moved := 0
+	for id := range clean.Assignment {
+		if clean.Assignment[id] != dirty.Assignment[id] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("MisTierFrac=0.5 changed no tier assignments")
+	}
+	// Partition invariants still hold under corruption.
+	seen := make([]bool, len(dirty.Assignment))
+	for _, members := range dirty.Members {
+		for _, id := range members {
+			if seen[id] {
+				t.Fatal("client in two tiers after mis-tiering")
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestFedATRunsUnderMisTiering(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MisTierFrac = 0.4
+	cfg.Rounds = 30
+	env := testEnv(t, 0, cfg)
+	run := FedAT(env)
+	if run.GlobalRounds == 0 {
+		t.Fatal("mis-tiered FedAT made no progress")
+	}
+	if run.BestAcc() < 0.15 {
+		t.Fatalf("mis-tiered FedAT failed to learn: %.3f", run.BestAcc())
+	}
+}
+
+func TestMisTieringDeterministic(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MisTierFrac = 0.3
+	a := ProfileTiers(testEnv(t, 0, cfg))
+	b := ProfileTiers(testEnv(t, 0, cfg))
+	for id := range a.Assignment {
+		if a.Assignment[id] != b.Assignment[id] {
+			t.Fatal("mis-tiering not deterministic for a fixed seed")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package fl
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+)
+
+// FedAsync runs Xie et al.'s fully asynchronous baseline: every client
+// trains continuously; whenever any client's update arrives the server
+// mixes it into the global model with a staleness-discounted weight
+// α_t = α·(staleness+1)^(−a) and immediately returns the fresh model to
+// that client. With the whole population talking to the server at once,
+// the shared server links become the communication bottleneck the paper
+// demonstrates.
+func FedAsync(env *Env) *metrics.Run {
+	return runAsync(env, "FedAsync", false)
+}
+
+// ASOFed runs Chen et al.'s asynchronous online baseline: like FedAsync the
+// clients are wait-free, but the server keeps a per-client model copy and
+// the global model is the n_k-weighted average over ALL copies; clients
+// train with the local constraint (λ>0).
+func ASOFed(env *Env) *metrics.Run {
+	return runAsync(env, "ASO-Fed", true)
+}
+
+func runAsync(env *Env, name string, aso bool) *metrics.Run {
+	cfg := env.Cfg
+	comm := NewComm(cfg.Codec, env.Shapes())
+	rec := newRecorder(env, comm, name)
+
+	sim := simnet.New()
+	global := env.InitialWeights()
+	version := 0
+	done := false
+	lambda := 0.0
+	if aso {
+		lambda = cfg.Lambda
+	}
+
+	// ASO-Fed server state: per-client copies and their running weighted
+	// sum, so each arrival is O(params) instead of O(clients·params).
+	var copies [][]float64
+	var copySum []float64
+	totalN := 0
+	if aso {
+		copies = make([][]float64, len(env.Clients))
+		copySum = make([]float64, len(global))
+		for i, c := range env.Clients {
+			copies[i] = env.InitialWeights()
+			n := c.Data.NumTrain()
+			totalN += n
+			tensor.Axpy(float64(n), copies[i], copySum)
+		}
+		for i := range global {
+			global[i] = copySum[i] / float64(totalN)
+		}
+	}
+
+	_ = rng.New(cfg.Seed) // selection-free: every client participates
+
+	var startClient func(c *Client)
+	startClient = func(c *Client) {
+		if done {
+			return
+		}
+		now := sim.Now()
+		if !c.Runtime.Available(now) {
+			return
+		}
+		startVersion := version
+		wRecv, downBytes := comm.Transmit(global, false)
+		downDone := env.Cluster.DownloadArrival(now, c.Runtime, downBytes)
+		lc := env.LocalConfig(lambda, uint64(startVersion))
+		w, steps := c.TrainLocal(wRecv, lc)
+		computeDone := downDone + c.Runtime.ComputeTime(steps) + c.Runtime.RoundDelay()
+		if !c.Runtime.Available(computeDone) {
+			return // dropped mid-round; the update is lost
+		}
+		wUp, upBytes := comm.Transmit(w, true)
+		arrive := env.Cluster.UploadArrival(computeDone, c.Runtime, upBytes)
+		sim.At(arrive, func() {
+			if done {
+				return
+			}
+			if aso {
+				n := float64(c.Data.NumTrain())
+				old := copies[c.ID]
+				for i := range copySum {
+					copySum[i] += n * (wUp[i] - old[i])
+				}
+				copies[c.ID] = wUp
+				for i := range global {
+					global[i] = copySum[i] / float64(totalN)
+				}
+			} else {
+				staleness := float64(version - startVersion)
+				alpha := cfg.AsyncAlpha * math.Pow(staleness+1, -cfg.AsyncStaleExp)
+				tensor.Lerp(global, wUp, alpha)
+			}
+			version++
+			rec.maybeEval(version, sim.Now(), global)
+			if version >= cfg.Rounds || (cfg.MaxSimTime > 0 && sim.Now() >= cfg.MaxSimTime) {
+				done = true
+				sim.Stop()
+				return
+			}
+			startClient(c)
+		})
+	}
+	for _, c := range env.Clients {
+		startClient(c)
+	}
+	sim.Run()
+	return rec.finish(version)
+}

@@ -1,0 +1,83 @@
+package fl
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// FedAT runs the paper's method (Algorithm 2): clients are partitioned into
+// M latency tiers; every tier runs its own synchronous round loop
+// concurrently, each starting from the latest global snapshot; on a tier's
+// round completion the server folds the tier model and recomputes the
+// global model with the Eq. 5 cross-tier weighted average (or uniformly
+// when cfg.UniformAgg is set — the Figure 6 ablation). Both the uplink and
+// the downlink pass through cfg.Codec, the paper's polyline compression.
+func FedAT(env *Env) *metrics.Run {
+	cfg := env.Cfg
+	comm := NewComm(cfg.Codec, env.Shapes())
+	rec := newRecorder(env, comm, "FedAT")
+
+	tiers := ProfileTiers(env)
+	agg, err := core.NewAggregator(tiers.M(), env.InitialWeights(), !cfg.UniformAgg)
+	if err != nil {
+		panic("fl: " + err.Error())
+	}
+	root := rng.New(cfg.Seed).SplitLabeled(hashName("FedAT"))
+	tierRNG := make([]*rng.RNG, tiers.M())
+	for m := range tierRNG {
+		tierRNG[m] = root.SplitLabeled(uint64(m))
+	}
+
+	sim := simnet.New()
+	done := false
+	finish := func() {
+		done = true
+		sim.Stop()
+	}
+
+	var tierRound func(m int)
+	tierRound = func(m int) {
+		if done {
+			return
+		}
+		now := sim.Now()
+		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+			finish()
+			return
+		}
+		sel := selectAvailable(tierRNG[m], tiers.Members[m], env.Clients, now, cfg.ClientsPerRound)
+		if len(sel) == 0 {
+			return // the whole tier is offline; it leaves the training
+		}
+		// Each tier trains from the freshest global model at ITS round
+		// start — the asynchronous, cross-tier part of the design.
+		results := env.trainGroup(sel, now, agg.Global(), comm, env.LocalConfig(cfg.Lambda, uint64(agg.Rounds())))
+		comp := completionTime(results)
+		surv := survivors(results)
+		sim.At(comp, func() {
+			if done {
+				return
+			}
+			if len(surv) > 0 {
+				g, err := agg.UpdateTier(m, toUpdates(surv))
+				if err != nil {
+					panic("fl: " + err.Error())
+				}
+				t := agg.Rounds()
+				rec.maybeEval(t, sim.Now(), g)
+				if t >= cfg.Rounds {
+					finish()
+					return
+				}
+			}
+			tierRound(m)
+		})
+	}
+	for m := 0; m < tiers.M(); m++ {
+		tierRound(m)
+	}
+	sim.Run()
+	return rec.finish(agg.Rounds())
+}

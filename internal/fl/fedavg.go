@@ -1,0 +1,85 @@
+package fl
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// FedAvg runs the synchronous baseline (McMahan et al., Algorithm 1): each
+// round samples ClientsPerRound clients from the whole population, trains
+// them locally with λ=0, and replaces the global model with the
+// n_k-weighted average. The server waits for the slowest selected client —
+// the straggler effect the paper sets out to fix.
+func FedAvg(env *Env) *metrics.Run {
+	return runSync(env, "FedAvg", 0, false)
+}
+
+// FedProx runs Li et al.'s heterogeneity-aware baseline: local objectives
+// carry the proximal term (λ>0) and clients perform variable numbers of
+// local epochs (its device-heterogeneity mechanism).
+func FedProx(env *Env) *metrics.Run {
+	return runSync(env, "FedProx", env.Cfg.Lambda, true)
+}
+
+// runSync is the shared synchronous loop. A single-tier FedAT aggregator is
+// exactly FedAvg's weighted average (§4.1: "with λ=0 and one tier, FedAT
+// becomes FedAvg"), so the same core drives the baselines.
+func runSync(env *Env, name string, lambda float64, variableEpochs bool) *metrics.Run {
+	cfg := env.Cfg
+	comm := NewComm(cfg.Codec, env.Shapes())
+	rec := newRecorder(env, comm, name)
+
+	agg, err := core.NewAggregator(1, env.InitialWeights(), true)
+	if err != nil {
+		panic("fl: " + err.Error())
+	}
+	root := rng.New(cfg.Seed).SplitLabeled(hashName(name))
+	selRNG := root.SplitLabeled(1)
+	epochRNG := root.SplitLabeled(2)
+
+	all := make([]int, len(env.Clients))
+	for i := range all {
+		all[i] = i
+	}
+
+	now := 0.0
+	rounds := 0
+	// Attempt budget guards against a fully-dropped population.
+	for attempt := 0; rounds < cfg.Rounds && attempt < 2*cfg.Rounds+10; attempt++ {
+		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+			break
+		}
+		sel := selectAvailable(selRNG, all, env.Clients, now, cfg.ClientsPerRound)
+		if len(sel) == 0 {
+			break // everyone is offline; training cannot continue
+		}
+		lc := env.LocalConfig(lambda, uint64(rounds))
+		if variableEpochs {
+			// FedProx: distinct local epoch counts per round, E..1.
+			lc.Epochs = 1 + epochRNG.Intn(cfg.LocalEpochs)
+		}
+		results := env.trainGroup(sel, now, agg.Global(), comm, lc)
+		now = completionTime(results)
+		surv := survivors(results)
+		if len(surv) == 0 {
+			continue // every selected client dropped; no update this round
+		}
+		g, err := agg.UpdateTier(0, toUpdates(surv))
+		if err != nil {
+			panic("fl: " + err.Error())
+		}
+		rounds++
+		rec.maybeEval(rounds, now, g)
+	}
+	return rec.finish(rounds)
+}
+
+// hashName gives each method an independent RNG stream label.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,43 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Runner is a federated-learning method: it consumes an environment and
+// produces the run record.
+type Runner func(*Env) *metrics.Run
+
+// Methods is the registry of every method the paper compares, plus the
+// over-selection strategy §2.1 discusses as a straggler mitigation.
+var Methods = map[string]Runner{
+	"fedat":          FedAT,
+	"fedavg":         FedAvg,
+	"fedprox":        FedProx,
+	"tifl":           TiFL,
+	"fedasync":       FedAsync,
+	"asofed":         ASOFed,
+	"fedavg-oversel": FedAvgOverSel,
+}
+
+// MethodNames returns the registry keys in deterministic order.
+func MethodNames() []string {
+	names := make([]string, 0, len(Methods))
+	for n := range Methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup resolves a method by its registry name.
+func Lookup(name string) (Runner, error) {
+	r, ok := Methods[name]
+	if !ok {
+		return nil, fmt.Errorf("fl: unknown method %q (have %v)", name, MethodNames())
+	}
+	return r, nil
+}

@@ -1,0 +1,79 @@
+package fl
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// FedAvgOverSel implements the over-selection strategy of Bonawitz et al.
+// that §2.1 discusses: each round the server selects 130% of the target
+// client count and aggregates the first ~77% (= target/1.3 of the selected)
+// updates to arrive, neglecting the slowest 30%. The round ends when the
+// last counted update lands, so stragglers stop gating rounds — at the cost
+// of extra communication (the discarded updates were still trained and
+// uploaded) and of systematically dropping the slowest clients' data, the
+// failure mode the paper points out.
+func FedAvgOverSel(env *Env) *metrics.Run {
+	const overFactor = 1.3
+	cfg := env.Cfg
+	comm := NewComm(cfg.Codec, env.Shapes())
+	rec := newRecorder(env, comm, "FedAvg+oversel")
+
+	agg, err := core.NewAggregator(1, env.InitialWeights(), true)
+	if err != nil {
+		panic("fl: " + err.Error())
+	}
+	root := rng.New(cfg.Seed).SplitLabeled(hashName("FedAvg+oversel"))
+	selRNG := root.SplitLabeled(1)
+
+	all := make([]int, len(env.Clients))
+	for i := range all {
+		all[i] = i
+	}
+
+	now := 0.0
+	rounds := 0
+	for attempt := 0; rounds < cfg.Rounds && attempt < 2*cfg.Rounds+10; attempt++ {
+		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+			break
+		}
+		over := int(float64(cfg.ClientsPerRound)*overFactor + 0.5)
+		sel := selectAvailable(selRNG, all, env.Clients, now, over)
+		if len(sel) == 0 {
+			break
+		}
+		results := env.trainGroup(sel, now, agg.Global(), comm, env.LocalConfig(0, uint64(rounds)))
+		surv := survivors(results)
+		if len(surv) == 0 {
+			now = completionTime(results)
+			continue
+		}
+		// Keep the earliest arrivals up to the target count; the rest are
+		// received later but ignored (their bytes were already counted).
+		keep := cfg.ClientsPerRound
+		if keep > len(surv) {
+			keep = len(surv)
+		}
+		sortByArrival(surv)
+		kept := surv[:keep]
+		now = completionTime(kept)
+		g, err := agg.UpdateTier(0, toUpdates(kept))
+		if err != nil {
+			panic("fl: " + err.Error())
+		}
+		rounds++
+		rec.maybeEval(rounds, now, g)
+	}
+	return rec.finish(rounds)
+}
+
+// sortByArrival orders results by server arrival time (stable insertion
+// sort: the slices are ~13 elements).
+func sortByArrival(rs []trainResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].arrive < rs[j-1].arrive; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package fl
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// trainResult is one client's completed local round, stamped with its
+// simulated arrival time at the server.
+type trainResult struct {
+	client  *Client
+	weights []float64 // as reconstructed by the server after the uplink
+	n       int       // n_k
+	steps   int       // batch steps executed (compute-time unit)
+	arrive  float64   // virtual time the upload lands at the server
+	dropped bool      // client went offline before finishing
+}
+
+// selectAvailable samples up to k distinct clients from ids that are still
+// online at time now.
+func selectAvailable(r *rng.RNG, ids []int, clients []*Client, now float64, k int) []int {
+	avail := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if clients[id].Runtime.Available(now) {
+			avail = append(avail, id)
+		}
+	}
+	if len(avail) == 0 {
+		return nil
+	}
+	if k > len(avail) {
+		k = len(avail)
+	}
+	picked := r.Choose(len(avail), k)
+	out := make([]int, k)
+	for i, p := range picked {
+		out[i] = avail[p]
+	}
+	return out
+}
+
+// trainGroup runs one synchronous round over the selected clients, starting
+// at virtual time start from the global snapshot:
+//
+//	download (client link + shared server downlink) → local training
+//	(batch steps × per-batch time + the injected tier delay) → upload
+//	(client link + shared server uplink).
+//
+// Local training executes in parallel across clients; all timing, RNG and
+// link reservations happen sequentially in selection order, so results are
+// deterministic. Clients that drop mid-round lose their update (§6's
+// unstable clients). Weights in the results are what the server
+// reconstructs after the (possibly lossy) uplink.
+func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm, lc LocalConfig) []trainResult {
+	// Downlink: every client receives its own copy of the snapshot.
+	received := make([][]float64, len(sel))
+	downDone := make([]float64, len(sel))
+	for i, id := range sel {
+		w, bytes := comm.Transmit(global, false)
+		received[i] = w
+		downDone[i] = e.Cluster.DownloadArrival(start, e.Clients[id].Runtime, bytes)
+	}
+
+	results := make([]trainResult, len(sel))
+	var wg sync.WaitGroup
+	wg.Add(len(sel))
+	for i, id := range sel {
+		go func(i, id int) {
+			defer wg.Done()
+			c := e.Clients[id]
+			w, steps := c.TrainLocal(received[i], lc)
+			results[i] = trainResult{client: c, weights: w, n: c.Data.NumTrain(), steps: steps}
+		}(i, id)
+	}
+	wg.Wait()
+
+	// Sequential post-pass: delays, drops and uplink in selection order.
+	for i := range results {
+		r := &results[i]
+		computeDone := downDone[i] + r.client.Runtime.ComputeTime(r.steps) + r.client.Runtime.RoundDelay()
+		if !r.client.Runtime.Available(computeDone) {
+			r.dropped = true
+			r.arrive = computeDone
+			continue
+		}
+		w, bytes := comm.Transmit(r.weights, true)
+		r.weights = w
+		r.arrive = e.Cluster.UploadArrival(computeDone, r.client.Runtime, bytes)
+	}
+	return results
+}
+
+// survivors filters out dropped results.
+func survivors(results []trainResult) []trainResult {
+	out := results[:0:0]
+	for _, r := range results {
+		if !r.dropped {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// completionTime is when the slowest upload lands — the length of a
+// synchronous round ("the server has to wait for the slowest clients").
+// Dropped clients bound it too: the server discovers the loss no earlier
+// than the time the update would have been due.
+func completionTime(results []trainResult) float64 {
+	t := 0.0
+	for _, r := range results {
+		if r.arrive > t {
+			t = r.arrive
+		}
+	}
+	return t
+}
+
+// toUpdates converts surviving results into aggregator updates.
+func toUpdates(results []trainResult) []core.ClientUpdate {
+	ups := make([]core.ClientUpdate, 0, len(results))
+	for _, r := range results {
+		ups = append(ups, core.ClientUpdate{Weights: r.weights, N: r.n})
+	}
+	return ups
+}
+
+// recorder bundles the evaluation cadence shared by all runners.
+type recorder struct {
+	env    *Env
+	comm   *Comm
+	run    *metrics.Run
+	nextAt int // next global round to evaluate at
+}
+
+func newRecorder(env *Env, comm *Comm, method string) *recorder {
+	return &recorder{
+		env:  env,
+		comm: comm,
+		run:  &metrics.Run{Method: method, Dataset: env.Fed.Name},
+	}
+}
+
+// maybeEval evaluates the model at the configured cadence.
+func (rec *recorder) maybeEval(round int, now float64, w []float64) {
+	if round < rec.nextAt {
+		return
+	}
+	rec.nextAt = round + rec.env.Cfg.EvalEvery
+	res := rec.env.Eval.Evaluate(w)
+	rec.run.Add(metrics.Point{
+		Round:     round,
+		Time:      now,
+		UpBytes:   rec.comm.Up,
+		DownBytes: rec.comm.Down,
+		Acc:       res.Acc,
+		Loss:      res.Loss,
+		Var:       res.Variance,
+	})
+}
+
+// finish stamps the totals.
+func (rec *recorder) finish(rounds int) *metrics.Run {
+	rec.run.UpBytes = rec.comm.Up
+	rec.run.DownBytes = rec.comm.Down
+	rec.run.GlobalRounds = rounds
+	return rec.run
+}

@@ -1,0 +1,125 @@
+package fl
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/tiering"
+)
+
+// TiFL runs the tier-based synchronous baseline (Chai et al., HPDC'20):
+// clients are profiled into latency tiers; each round the adaptive selector
+// picks ONE tier (probability inversely proportional to its test accuracy,
+// bounded by per-tier credits) and samples clients within it. Aggregation
+// is FedAvg's weighted average. Because a round only waits for clients of
+// one tier, fast-tier rounds are short — but the periodic accuracy refresh
+// downloads the model to every client, the communication overhead §2.1
+// calls out.
+func TiFL(env *Env) *metrics.Run {
+	cfg := env.Cfg
+	comm := NewComm(cfg.Codec, env.Shapes())
+	rec := newRecorder(env, comm, "TiFL")
+
+	tiers := ProfileTiers(env)
+	agg, err := core.NewAggregator(1, env.InitialWeights(), true)
+	if err != nil {
+		panic("fl: " + err.Error())
+	}
+	selector := tiering.NewTiFLSelector(tiers.M(), cfg.TiFLCredits, cfg.TiFLInterval)
+	root := rng.New(cfg.Seed).SplitLabeled(hashName("TiFL"))
+	tierRNG := root.SplitLabeled(1)
+	selRNG := root.SplitLabeled(2)
+
+	now := 0.0
+	rounds := 0
+	for attempt := 0; rounds < cfg.Rounds && attempt < 2*cfg.Rounds+10; attempt++ {
+		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+			break
+		}
+		if selector.NeedsAccuracyRefresh() {
+			now = tiflAccuracyRefresh(env, comm, agg.Global(), tiers, selector, now)
+		}
+		tier := selector.Select(tierRNG)
+		sel := selectAvailable(selRNG, tiers.Members[tier], env.Clients, now, cfg.ClientsPerRound)
+		if len(sel) == 0 {
+			continue // tier fully offline; the selector will pick others
+		}
+		results := env.trainGroup(sel, now, agg.Global(), comm, env.LocalConfig(0, uint64(rounds)))
+		now = completionTime(results)
+		surv := survivors(results)
+		if len(surv) == 0 {
+			continue
+		}
+		g, err := agg.UpdateTier(0, toUpdates(surv))
+		if err != nil {
+			panic("fl: " + err.Error())
+		}
+		rounds++
+		rec.maybeEval(rounds, now, g)
+	}
+	return rec.finish(rounds)
+}
+
+// tiflAccuracyRefresh models TiFL's adaptive-selection bookkeeping: the
+// current model is downloaded to every available client, each evaluates
+// locally and uploads its test accuracy (a small control message). The
+// refresh costs real communication (model bytes × clients) and real time
+// (the transfers serialize on the server downlink).
+func tiflAccuracyRefresh(env *Env, comm *Comm, global []float64, tiers *tiering.Tiers, selector *tiering.TiFLSelector, now float64) float64 {
+	const accMsgBytes = 32
+	latest := now
+	accs := make([]float64, tiers.M())
+	for m, members := range tiers.Members {
+		online := members[:0:0]
+		for _, id := range members {
+			c := env.Clients[id]
+			if !c.Runtime.Available(now) {
+				continue
+			}
+			online = append(online, id)
+			_, bytes := comm.Transmit(global, false)
+			done := env.Cluster.DownloadArrival(now, c.Runtime, bytes)
+			comm.CountControl(accMsgBytes, true)
+			done = env.Cluster.UploadArrival(done, c.Runtime, accMsgBytes)
+			if done > latest {
+				latest = done
+			}
+		}
+		accs[m] = env.Eval.EvaluateSubset(global, online)
+	}
+	selector.UpdateAccuracies(accs)
+	return latest
+}
+
+// ProfileTiers runs the tiering module over the clients' profiled response
+// latencies (compute for a nominal round plus mean injected delay) — shared
+// by TiFL and FedAT, which reuses TiFL's tiering approach (§2.1). When
+// MisTierFrac > 0 that fraction of the profiles is replaced with random
+// values, modelling the mis-profiling §2.1 describes ("a portion of clients
+// are incorrectly profiled and assigned to a wrong tier").
+func ProfileTiers(env *Env) *tiering.Tiers {
+	lc := env.LocalConfig(0, 0)
+	lat := make([]float64, len(env.Clients))
+	lo, hi := 1e300, 0.0
+	for i, c := range env.Clients {
+		lat[i] = c.Runtime.ExpectedLatency(lc.Steps(c.Data.NumTrain()))
+		if lat[i] < lo {
+			lo = lat[i]
+		}
+		if lat[i] > hi {
+			hi = lat[i]
+		}
+	}
+	if f := env.Cfg.MisTierFrac; f > 0 {
+		r := rng.New(env.Cfg.Seed).SplitLabeled(hashName("mistier"))
+		n := int(f * float64(len(lat)))
+		for _, i := range r.Choose(len(lat), n) {
+			lat[i] = r.Uniform(lo, hi) // profile scrambled within range
+		}
+	}
+	tiers, err := tiering.Partition(lat, env.Cfg.NumTiers)
+	if err != nil {
+		panic("fl: " + err.Error())
+	}
+	return tiers
+}

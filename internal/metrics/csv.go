@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the run's evaluation points as CSV (one row per point),
+// the format the plotting scripts and spreadsheet users consume. Columns:
+// round, time_s, up_bytes, down_bytes, acc, loss, var.
+func (r *Run) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "time_s", "up_bytes", "down_bytes", "acc", "loss", "var"}); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		row := []string{
+			fmt.Sprint(p.Round),
+			fmt.Sprintf("%.3f", p.Time),
+			fmt.Sprint(p.UpBytes),
+			fmt.Sprint(p.DownBytes),
+			fmt.Sprintf("%.6f", p.Acc),
+			fmt.Sprintf("%.6f", p.Loss),
+			fmt.Sprintf("%.8f", p.Var),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush csv: %w", err)
+	}
+	return nil
+}

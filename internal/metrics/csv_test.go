@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(r.Points)+1 {
+		t.Fatalf("csv has %d rows, want %d", len(records), len(r.Points)+1)
+	}
+	if strings.Join(records[0], ",") != "round,time_s,up_bytes,down_bytes,acc,loss,var" {
+		t.Fatalf("csv header wrong: %v", records[0])
+	}
+	if records[1][0] != "0" || records[1][4] != "0.100000" {
+		t.Fatalf("first data row wrong: %v", records[1])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 7 {
+			t.Fatalf("row has %d cells: %v", len(rec), rec)
+		}
+	}
+}
+
+func TestWriteCSVEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Run{}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 1 {
+		t.Fatalf("empty run csv has %d lines, want header only", lines)
+	}
+}

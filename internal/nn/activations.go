@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	out, dx *tensor.Mat
+	mask    []bool
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// ParamShapes implements Layer.
+func (l *ReLU) ParamShapes() []Shape { return nil }
+
+// Bind implements Layer.
+func (l *ReLU) Bind(w, g []float64) { checkBind(l, w, g) }
+
+// Init implements Layer.
+func (l *ReLU) Init(*rng.RNG) {}
+
+// OutDim implements Layer.
+func (l *ReLU) OutDim(in int) int { return in }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	n := len(x.Data)
+	if l.out == nil || len(l.out.Data) != n {
+		l.out = tensor.NewMat(x.R, x.C)
+		l.mask = make([]bool, n)
+	}
+	l.out.R, l.out.C = x.R, x.C
+	for i, v := range x.Data {
+		if v > 0 {
+			l.out.Data[i] = v
+			l.mask[i] = true
+		} else {
+			l.out.Data[i] = 0
+			l.mask[i] = false
+		}
+	}
+	return l.out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(dout *tensor.Mat) *tensor.Mat {
+	if l.dx == nil || len(l.dx.Data) != len(dout.Data) {
+		l.dx = tensor.NewMat(dout.R, dout.C)
+	}
+	l.dx.R, l.dx.C = dout.R, dout.C
+	for i, v := range dout.Data {
+		if l.mask[i] {
+			l.dx.Data[i] = v
+		} else {
+			l.dx.Data[i] = 0
+		}
+	}
+	return l.dx
+}
+
+// Tanh applies tanh element-wise.
+type Tanh struct {
+	out, dx *tensor.Mat
+}
+
+// NewTanh constructs a Tanh activation.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// ParamShapes implements Layer.
+func (l *Tanh) ParamShapes() []Shape { return nil }
+
+// Bind implements Layer.
+func (l *Tanh) Bind(w, g []float64) { checkBind(l, w, g) }
+
+// Init implements Layer.
+func (l *Tanh) Init(*rng.RNG) {}
+
+// OutDim implements Layer.
+func (l *Tanh) OutDim(in int) int { return in }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if l.out == nil || len(l.out.Data) != len(x.Data) {
+		l.out = tensor.NewMat(x.R, x.C)
+	}
+	l.out.R, l.out.C = x.R, x.C
+	for i, v := range x.Data {
+		l.out.Data[i] = math.Tanh(v)
+	}
+	return l.out
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(dout *tensor.Mat) *tensor.Mat {
+	if l.dx == nil || len(l.dx.Data) != len(dout.Data) {
+		l.dx = tensor.NewMat(dout.R, dout.C)
+	}
+	l.dx.R, l.dx.C = dout.R, dout.C
+	for i, v := range dout.Data {
+		y := l.out.Data[i]
+		l.dx.Data[i] = v * (1 - y*y)
+	}
+	return l.dx
+}
+
+// Dropout randomly zeroes activations during training with probability Rate
+// and rescales survivors by 1/(1-Rate) (inverted dropout), matching the
+// dropout used inside the paper's Reddit LSTM model.
+type Dropout struct {
+	Rate float64
+
+	r       *rng.RNG
+	out, dx *tensor.Mat
+	mask    []float64
+}
+
+// NewDropout constructs a Dropout layer; rate must be in [0, 1).
+func NewDropout(rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: Dropout rate must be in [0,1)")
+	}
+	return &Dropout{Rate: rate}
+}
+
+// ParamShapes implements Layer.
+func (l *Dropout) ParamShapes() []Shape { return nil }
+
+// Bind implements Layer.
+func (l *Dropout) Bind(w, g []float64) { checkBind(l, w, g) }
+
+// Init implements Layer; it seeds the layer's private mask stream.
+func (l *Dropout) Init(r *rng.RNG) { l.r = r.Split() }
+
+// OutDim implements Layer.
+func (l *Dropout) OutDim(in int) int { return in }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if !train || l.Rate == 0 {
+		return x
+	}
+	n := len(x.Data)
+	if l.out == nil || len(l.out.Data) != n {
+		l.out = tensor.NewMat(x.R, x.C)
+		l.mask = make([]float64, n)
+	}
+	l.out.R, l.out.C = x.R, x.C
+	keep := 1 - l.Rate
+	inv := 1 / keep
+	for i, v := range x.Data {
+		if l.r.Float64() < keep {
+			l.mask[i] = inv
+			l.out.Data[i] = v * inv
+		} else {
+			l.mask[i] = 0
+			l.out.Data[i] = 0
+		}
+	}
+	return l.out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(dout *tensor.Mat) *tensor.Mat {
+	if l.mask == nil { // eval-mode forward: identity
+		return dout
+	}
+	if l.dx == nil || len(l.dx.Data) != len(dout.Data) {
+		l.dx = tensor.NewMat(dout.R, dout.C)
+	}
+	l.dx.R, l.dx.C = dout.R, dout.C
+	for i, v := range dout.Data {
+		l.dx.Data[i] = v * l.mask[i]
+	}
+	return l.dx
+}

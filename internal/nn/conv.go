@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over channel-major (CHW) images flattened one
+// per batch row. The convolution is computed per sample via im2col followed
+// by a single matrix multiply, the standard lowering.
+type Conv2D struct {
+	InC, H, W        int // input geometry
+	OutC, K          int // filters and (square) kernel size
+	Stride, Pad      int
+	outH, outW, cols int
+
+	w, g []float64 // W (OutC × InC*K*K) then b (OutC)
+
+	// caches (owned by a single goroutine)
+	colCache []*tensor.Mat // im2col output per sample
+	x        *tensor.Mat
+	out, dx  *tensor.Mat
+	scratchW *tensor.Mat
+	scratchC *tensor.Mat
+}
+
+// NewConv2D constructs a convolution layer for inC×h×w inputs with outC
+// k×k filters.
+func NewConv2D(inC, h, w, outC, k, stride, pad int) *Conv2D {
+	if inC <= 0 || h <= 0 || w <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		panic("nn: Conv2D invalid geometry")
+	}
+	c := &Conv2D{InC: inC, H: h, W: w, OutC: outC, K: k, Stride: stride, Pad: pad}
+	c.outH = tensor.ConvOutSize(h, k, stride, pad)
+	c.outW = tensor.ConvOutSize(w, k, stride, pad)
+	if c.outH <= 0 || c.outW <= 0 {
+		panic("nn: Conv2D output collapses to zero size")
+	}
+	c.cols = inC * k * k
+	return c
+}
+
+// OutShape returns the output geometry (channels, height, width).
+func (c *Conv2D) OutShape() (int, int, int) { return c.OutC, c.outH, c.outW }
+
+// ParamShapes implements Layer.
+func (c *Conv2D) ParamShapes() []Shape {
+	return []Shape{
+		{Name: "W", Dims: []int{c.OutC, c.InC, c.K, c.K}},
+		{Name: "b", Dims: []int{c.OutC}},
+	}
+}
+
+// Bind implements Layer.
+func (c *Conv2D) Bind(w, g []float64) {
+	checkBind(c, w, g)
+	c.w, c.g = w, g
+}
+
+// Init implements Layer.
+func (c *Conv2D) Init(r *rng.RNG) {
+	fanIn := c.cols
+	fanOut := c.OutC * c.K * c.K
+	initUniform(r, c.w[:c.OutC*c.cols], glorot(fanIn, fanOut))
+	tensor.Zero(c.w[c.OutC*c.cols:])
+}
+
+// OutDim implements Layer.
+func (c *Conv2D) OutDim(int) int { return c.OutC * c.outH * c.outW }
+
+func (c *Conv2D) weight() *tensor.Mat { return tensor.MatFrom(c.OutC, c.cols, c.w[:c.OutC*c.cols]) }
+func (c *Conv2D) bias() []float64     { return c.w[c.OutC*c.cols:] }
+func (c *Conv2D) gradW() *tensor.Mat  { return tensor.MatFrom(c.OutC, c.cols, c.g[:c.OutC*c.cols]) }
+func (c *Conv2D) gradB() []float64    { return c.g[c.OutC*c.cols:] }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != c.InC*c.H*c.W {
+		panic("nn: Conv2D input width mismatch")
+	}
+	b := x.R
+	p := c.outH * c.outW
+	if c.out == nil || c.out.R != b {
+		c.out = tensor.NewMat(b, c.OutC*p)
+	}
+	if len(c.colCache) < b {
+		c.colCache = make([]*tensor.Mat, b)
+	}
+	w := c.weight()
+	bias := c.bias()
+	for s := 0; s < b; s++ {
+		if c.colCache[s] == nil {
+			c.colCache[s] = tensor.NewMat(c.cols, p)
+		}
+		cols := c.colCache[s]
+		tensor.Im2Col(x.Row(s), c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad, cols)
+		outView := tensor.MatFrom(c.OutC, p, c.out.Row(s))
+		tensor.MulInto(outView, w, cols)
+		for oc := 0; oc < c.OutC; oc++ {
+			row := outView.Row(oc)
+			bv := bias[oc]
+			for i := range row {
+				row[i] += bv
+			}
+		}
+	}
+	if train {
+		c.x = x
+	}
+	return c.out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Mat) *tensor.Mat {
+	if c.x == nil {
+		panic("nn: Conv2D Backward before training Forward")
+	}
+	b := dout.R
+	p := c.outH * c.outW
+	if c.dx == nil || c.dx.R != b {
+		c.dx = tensor.NewMat(b, c.InC*c.H*c.W)
+	}
+	if c.scratchW == nil {
+		c.scratchW = tensor.NewMat(c.OutC, c.cols)
+		c.scratchC = tensor.NewMat(c.cols, p)
+	}
+	gw := c.gradW()
+	gb := c.gradB()
+	w := c.weight()
+	for s := 0; s < b; s++ {
+		doutView := tensor.MatFrom(c.OutC, p, dout.Row(s))
+		// dW += dout·colsᵀ
+		tensor.MulTransBInto(c.scratchW, doutView, c.colCache[s])
+		tensor.AddTo(gw.Data, c.scratchW.Data)
+		// db += row sums of dout
+		for oc := 0; oc < c.OutC; oc++ {
+			gb[oc] += tensor.Sum(doutView.Row(oc))
+		}
+		// dcols = Wᵀ·dout, then scatter back to image space
+		tensor.MulTransAInto(c.scratchC, w, doutView)
+		dst := c.dx.Row(s)
+		tensor.Zero(dst)
+		tensor.Col2Im(c.scratchC, c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad, dst)
+	}
+	return c.dx
+}
+
+// MaxPool2D is a non-overlapping (or strided) max pooling layer over CHW
+// images flattened one per batch row.
+type MaxPool2D struct {
+	InC, H, W  int
+	K, Stride  int
+	outH, outW int
+
+	out, dx *tensor.Mat
+	argmax  []int32 // flat index into the input row for each output element
+}
+
+// NewMaxPool2D constructs a max-pool layer with k×k windows.
+func NewMaxPool2D(inC, h, w, k, stride int) *MaxPool2D {
+	if inC <= 0 || h <= 0 || w <= 0 || k <= 0 || stride <= 0 {
+		panic("nn: MaxPool2D invalid geometry")
+	}
+	m := &MaxPool2D{InC: inC, H: h, W: w, K: k, Stride: stride}
+	m.outH = tensor.ConvOutSize(h, k, stride, 0)
+	m.outW = tensor.ConvOutSize(w, k, stride, 0)
+	if m.outH <= 0 || m.outW <= 0 {
+		panic("nn: MaxPool2D output collapses to zero size")
+	}
+	return m
+}
+
+// OutShape returns the output geometry (channels, height, width).
+func (m *MaxPool2D) OutShape() (int, int, int) { return m.InC, m.outH, m.outW }
+
+// ParamShapes implements Layer.
+func (m *MaxPool2D) ParamShapes() []Shape { return nil }
+
+// Bind implements Layer.
+func (m *MaxPool2D) Bind(w, g []float64) { checkBind(m, w, g) }
+
+// Init implements Layer.
+func (m *MaxPool2D) Init(*rng.RNG) {}
+
+// OutDim implements Layer.
+func (m *MaxPool2D) OutDim(int) int { return m.InC * m.outH * m.outW }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != m.InC*m.H*m.W {
+		panic("nn: MaxPool2D input width mismatch")
+	}
+	b := x.R
+	p := m.outH * m.outW
+	if m.out == nil || m.out.R != b {
+		m.out = tensor.NewMat(b, m.InC*p)
+		m.argmax = make([]int32, b*m.InC*p)
+	}
+	for s := 0; s < b; s++ {
+		in := x.Row(s)
+		out := m.out.Row(s)
+		amBase := s * m.InC * p
+		for c := 0; c < m.InC; c++ {
+			chn := in[c*m.H*m.W:]
+			o := c * p
+			for oy := 0; oy < m.outH; oy++ {
+				for ox := 0; ox < m.outW; ox++ {
+					best := -1
+					bestV := 0.0
+					for ky := 0; ky < m.K; ky++ {
+						iy := oy*m.Stride + ky
+						if iy >= m.H {
+							break
+						}
+						for kx := 0; kx < m.K; kx++ {
+							ix := ox*m.Stride + kx
+							if ix >= m.W {
+								break
+							}
+							idx := iy*m.W + ix
+							if best == -1 || chn[idx] > bestV {
+								best = idx
+								bestV = chn[idx]
+							}
+						}
+					}
+					out[o] = bestV
+					m.argmax[amBase+o] = int32(c*m.H*m.W + best)
+					o++
+				}
+			}
+		}
+	}
+	return m.out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dout *tensor.Mat) *tensor.Mat {
+	b := dout.R
+	if m.dx == nil || m.dx.R != b {
+		m.dx = tensor.NewMat(b, m.InC*m.H*m.W)
+	}
+	tensor.Zero(m.dx.Data)
+	p := m.InC * m.outH * m.outW
+	for s := 0; s < b; s++ {
+		dst := m.dx.Row(s)
+		src := dout.Row(s)
+		amBase := s * p
+		for i, v := range src {
+			dst[m.argmax[amBase+i]] += v
+		}
+	}
+	return m.dx
+}

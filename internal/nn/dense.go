@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W stored Out×In.
+type Dense struct {
+	In, Out int
+
+	w, g []float64 // bound storage: W (Out*In) then b (Out)
+
+	// caches
+	x       *tensor.Mat // input of last training forward
+	out     *tensor.Mat
+	dx      *tensor.Mat
+	scratch *tensor.Mat // Out×In gradient scratch for accumulation
+}
+
+// NewDense constructs a Dense layer with the given fan-in and fan-out.
+func NewDense(in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic("nn: Dense dimensions must be positive")
+	}
+	return &Dense{In: in, Out: out}
+}
+
+// ParamShapes implements Layer.
+func (d *Dense) ParamShapes() []Shape {
+	return []Shape{{Name: "W", Dims: []int{d.Out, d.In}}, {Name: "b", Dims: []int{d.Out}}}
+}
+
+// Bind implements Layer.
+func (d *Dense) Bind(w, g []float64) {
+	checkBind(d, w, g)
+	d.w, d.g = w, g
+}
+
+// Init implements Layer (Glorot uniform weights, zero bias).
+func (d *Dense) Init(r *rng.RNG) {
+	initUniform(r, d.w[:d.Out*d.In], glorot(d.In, d.Out))
+	tensor.Zero(d.w[d.Out*d.In:])
+}
+
+// OutDim implements Layer.
+func (d *Dense) OutDim(int) int { return d.Out }
+
+func (d *Dense) weight() *tensor.Mat { return tensor.MatFrom(d.Out, d.In, d.w[:d.Out*d.In]) }
+func (d *Dense) bias() []float64     { return d.w[d.Out*d.In:] }
+func (d *Dense) gradW() *tensor.Mat  { return tensor.MatFrom(d.Out, d.In, d.g[:d.Out*d.In]) }
+func (d *Dense) gradB() []float64    { return d.g[d.Out*d.In:] }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != d.In {
+		panic("nn: Dense input width mismatch")
+	}
+	if d.out == nil || d.out.R != x.R {
+		d.out = tensor.NewMat(x.R, d.Out)
+	}
+	tensor.MulTransBInto(d.out, x, d.weight())
+	d.out.AddRowVec(d.bias())
+	if train {
+		d.x = x
+	}
+	return d.out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dout *tensor.Mat) *tensor.Mat {
+	if d.x == nil {
+		panic("nn: Dense Backward before training Forward")
+	}
+	// dW += doutᵀ·x
+	if d.scratch == nil {
+		d.scratch = tensor.NewMat(d.Out, d.In)
+	}
+	tensor.MulTransAInto(d.scratch, dout, d.x)
+	tensor.AddTo(d.gradW().Data, d.scratch.Data)
+	// db += column sums of dout
+	gb := d.gradB()
+	for i := 0; i < dout.R; i++ {
+		tensor.AddTo(gb, dout.Row(i))
+	}
+	// dx = dout·W
+	if d.dx == nil || d.dx.R != dout.R {
+		d.dx = tensor.NewMat(dout.R, d.In)
+	}
+	tensor.MulInto(d.dx, dout, d.weight())
+	return d.dx
+}

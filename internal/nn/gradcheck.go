@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GradCheck verifies a network's analytic gradients against central finite
+// differences on the given batch. It returns the worst relative error over
+// all parameters. Networks with stochastic layers (Dropout) or
+// batch-statistic updates (BatchNorm running stats) must be checked with
+// those effects held fixed; see CheckableForward in the tests.
+//
+// The relative error uses the standard symmetric normalization
+// |a−n| / max(1e-8, |a|+|n|).
+func GradCheck(n *Network, x *tensor.Mat, labels []int, eps float64) float64 {
+	n.ZeroGrad()
+	n.Backprop(x, labels)
+	analytic := tensor.Copy(n.Grads())
+
+	w := n.Weights()
+	worst := 0.0
+	for i := range w {
+		orig := w[i]
+		w[i] = orig + eps
+		lp := n.lossOnly(x, labels)
+		w[i] = orig - eps
+		lm := n.lossOnly(x, labels)
+		w[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		den := math.Abs(analytic[i]) + math.Abs(numeric)
+		if den < 1e-8 {
+			den = 1e-8
+		}
+		rel := math.Abs(analytic[i]-numeric) / den
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// lossOnly evaluates the training-mode loss without touching gradients.
+func (n *Network) lossOnly(x *tensor.Mat, labels []int) float64 {
+	logits := n.Forward(x, true)
+	d := tensor.NewMat(logits.R, logits.C)
+	return n.loss.Compute(logits, labels, d)
+}

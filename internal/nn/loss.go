@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss turns final-layer outputs and integer labels into a scalar loss and
+// the gradient with respect to the outputs. Implementations must average
+// over the batch so learning rates are batch-size independent.
+type Loss interface {
+	// Compute returns the mean loss over the batch and writes dL/dlogits
+	// into dlogits (same shape as logits).
+	Compute(logits *tensor.Mat, labels []int, dlogits *tensor.Mat) float64
+}
+
+// SoftmaxCE is the softmax cross-entropy loss used by every classification
+// model in the paper.
+type SoftmaxCE struct {
+	probs []float64
+}
+
+// NewSoftmaxCE constructs the loss.
+func NewSoftmaxCE() *SoftmaxCE { return &SoftmaxCE{} }
+
+// Compute implements Loss.
+func (l *SoftmaxCE) Compute(logits *tensor.Mat, labels []int, dlogits *tensor.Mat) float64 {
+	if len(labels) != logits.R {
+		panic("nn: SoftmaxCE label count mismatch")
+	}
+	if dlogits.R != logits.R || dlogits.C != logits.C {
+		panic("nn: SoftmaxCE dlogits shape mismatch")
+	}
+	if len(l.probs) != logits.C {
+		l.probs = make([]float64, logits.C)
+	}
+	n := logits.R
+	invN := 1 / float64(n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= logits.C {
+			panic("nn: SoftmaxCE label out of range")
+		}
+		tensor.Softmax(logits.Row(i), l.probs)
+		p := l.probs[y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+		drow := dlogits.Row(i)
+		for j, pj := range l.probs {
+			drow[j] = pj * invN
+		}
+		drow[y] -= invN
+	}
+	return total * invN
+}
+
+// MSE is mean squared error against one-hot targets; included for the
+// convex-objective experiments and for testing optimizers on quadratic
+// bowls.
+type MSE struct{}
+
+// NewMSE constructs the loss.
+func NewMSE() *MSE { return &MSE{} }
+
+// Compute implements Loss.
+func (l *MSE) Compute(logits *tensor.Mat, labels []int, dlogits *tensor.Mat) float64 {
+	if len(labels) != logits.R {
+		panic("nn: MSE label count mismatch")
+	}
+	n := logits.R
+	invN := 1 / float64(n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		drow := dlogits.Row(i)
+		for j, v := range row {
+			target := 0.0
+			if j == labels[i] {
+				target = 1
+			}
+			diff := v - target
+			total += diff * diff * invN
+			drow[j] = 2 * diff * invN
+		}
+	}
+	return total
+}

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// LSTM processes a sequence and emits the final hidden state, matching the
+// "LSTM layer" of the paper's Reddit model. Input rows are SeqLen steps of
+// In features concatenated (the layout Embedding produces); output rows are
+// the Hidden-dimensional state after the last step.
+//
+// Gate layout in the 4H dimension is [i | f | g | o].
+type LSTM struct {
+	In, Hidden, SeqLen int
+
+	w, g []float64 // Wx (4H×In), Wh (4H×H), b (4H)
+
+	// per-step caches, each SeqLen long, batch-major matrices
+	xs            *tensor.Mat
+	gates         []*tensor.Mat // pre-activation storage reused as post-activation
+	cs, hs        []*tensor.Mat // cell and hidden states (index t+1 holds step t output)
+	dx            *tensor.Mat
+	scratch4H     *tensor.Mat
+	scratchWx     *tensor.Mat
+	scratchWh     *tensor.Mat
+	dh, dc, dhNew *tensor.Mat
+}
+
+// NewLSTM constructs an LSTM over seqLen steps of in features with the given
+// hidden size.
+func NewLSTM(in, hidden, seqLen int) *LSTM {
+	if in <= 0 || hidden <= 0 || seqLen <= 0 {
+		panic("nn: LSTM invalid dimensions")
+	}
+	return &LSTM{In: in, Hidden: hidden, SeqLen: seqLen}
+}
+
+// ParamShapes implements Layer.
+func (l *LSTM) ParamShapes() []Shape {
+	return []Shape{
+		{Name: "Wx", Dims: []int{4 * l.Hidden, l.In}},
+		{Name: "Wh", Dims: []int{4 * l.Hidden, l.Hidden}},
+		{Name: "b", Dims: []int{4 * l.Hidden}},
+	}
+}
+
+// Bind implements Layer.
+func (l *LSTM) Bind(w, g []float64) {
+	checkBind(l, w, g)
+	l.w, l.g = w, g
+}
+
+// Init implements Layer. Forget-gate biases start at 1, the standard trick
+// that keeps gradients flowing early in training.
+func (l *LSTM) Init(r *rng.RNG) {
+	h := l.Hidden
+	nx := 4 * h * l.In
+	nh := 4 * h * h
+	initUniform(r, l.w[:nx], glorot(l.In, h))
+	initUniform(r, l.w[nx:nx+nh], glorot(h, h))
+	b := l.w[nx+nh:]
+	tensor.Zero(b)
+	for i := h; i < 2*h; i++ {
+		b[i] = 1
+	}
+}
+
+// OutDim implements Layer.
+func (l *LSTM) OutDim(int) int { return l.Hidden }
+
+func (l *LSTM) wx() *tensor.Mat {
+	return tensor.MatFrom(4*l.Hidden, l.In, l.w[:4*l.Hidden*l.In])
+}
+func (l *LSTM) wh() *tensor.Mat {
+	nx := 4 * l.Hidden * l.In
+	return tensor.MatFrom(4*l.Hidden, l.Hidden, l.w[nx:nx+4*l.Hidden*l.Hidden])
+}
+func (l *LSTM) bias() []float64 {
+	return l.w[4*l.Hidden*(l.In+l.Hidden):]
+}
+func (l *LSTM) gwx() *tensor.Mat {
+	return tensor.MatFrom(4*l.Hidden, l.In, l.g[:4*l.Hidden*l.In])
+}
+func (l *LSTM) gwh() *tensor.Mat {
+	nx := 4 * l.Hidden * l.In
+	return tensor.MatFrom(4*l.Hidden, l.Hidden, l.g[nx:nx+4*l.Hidden*l.Hidden])
+}
+func (l *LSTM) gbias() []float64 {
+	return l.g[4*l.Hidden*(l.In+l.Hidden):]
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func (l *LSTM) ensureCaches(b int) {
+	if l.gates != nil && l.gates[0].R == b {
+		return
+	}
+	h := l.Hidden
+	l.gates = make([]*tensor.Mat, l.SeqLen)
+	l.cs = make([]*tensor.Mat, l.SeqLen+1)
+	l.hs = make([]*tensor.Mat, l.SeqLen+1)
+	for t := 0; t < l.SeqLen; t++ {
+		l.gates[t] = tensor.NewMat(b, 4*h)
+	}
+	for t := 0; t <= l.SeqLen; t++ {
+		l.cs[t] = tensor.NewMat(b, h)
+		l.hs[t] = tensor.NewMat(b, h)
+	}
+	l.scratch4H = tensor.NewMat(b, 4*h)
+	l.scratchWx = tensor.NewMat(4*h, l.In)
+	l.scratchWh = tensor.NewMat(4*h, h)
+	l.dh = tensor.NewMat(b, h)
+	l.dc = tensor.NewMat(b, h)
+	l.dhNew = tensor.NewMat(b, h)
+	l.dx = tensor.NewMat(b, l.SeqLen*l.In)
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != l.SeqLen*l.In {
+		panic("nn: LSTM input width mismatch")
+	}
+	b := x.R
+	l.ensureCaches(b)
+	l.xs = x
+	h := l.Hidden
+	wx, wh, bias := l.wx(), l.wh(), l.bias()
+	tensor.Zero(l.cs[0].Data)
+	tensor.Zero(l.hs[0].Data)
+	for t := 0; t < l.SeqLen; t++ {
+		xt := l.stepInput(x, t)
+		gates := l.gates[t]
+		// gates = xt·Wxᵀ + h_{t-1}·Whᵀ + b
+		tensor.MulTransBInto(gates, xt, wx)
+		tensor.MulTransBInto(l.scratch4H, l.hs[t], wh)
+		tensor.AddTo(gates.Data, l.scratch4H.Data)
+		gates.AddRowVec(bias)
+		cPrev := l.cs[t]
+		cNew := l.cs[t+1]
+		hNew := l.hs[t+1]
+		for s := 0; s < b; s++ {
+			gr := gates.Row(s)
+			cp := cPrev.Row(s)
+			cn := cNew.Row(s)
+			hn := hNew.Row(s)
+			for j := 0; j < h; j++ {
+				i := sigmoid(gr[j])
+				f := sigmoid(gr[h+j])
+				g := math.Tanh(gr[2*h+j])
+				o := sigmoid(gr[3*h+j])
+				// store post-activation values for backward
+				gr[j], gr[h+j], gr[2*h+j], gr[3*h+j] = i, f, g, o
+				cn[j] = f*cp[j] + i*g
+				hn[j] = o * math.Tanh(cn[j])
+			}
+		}
+	}
+	return l.hs[l.SeqLen]
+}
+
+// stepInput returns the batch view of step t: rows are x[s][t*In:(t+1)*In].
+// The rows are strided in the original matrix, so we copy into a scratch
+// matrix sized B×In.
+func (l *LSTM) stepInput(x *tensor.Mat, t int) *tensor.Mat {
+	b := x.R
+	out := tensor.NewMat(b, l.In)
+	for s := 0; s < b; s++ {
+		copy(out.Row(s), x.Row(s)[t*l.In:(t+1)*l.In])
+	}
+	return out
+}
+
+// Backward implements Layer (full backpropagation through time).
+func (l *LSTM) Backward(dout *tensor.Mat) *tensor.Mat {
+	if l.xs == nil {
+		panic("nn: LSTM Backward before training Forward")
+	}
+	b := dout.R
+	h := l.Hidden
+	wx, wh := l.wx(), l.wh()
+	gwx, gwh, gb := l.gwx(), l.gwh(), l.gbias()
+
+	copy(l.dh.Data, dout.Data)
+	tensor.Zero(l.dc.Data)
+	tensor.Zero(l.dx.Data)
+	dgates := tensor.NewMat(b, 4*h)
+	dxt := tensor.NewMat(b, l.In)
+	for t := l.SeqLen - 1; t >= 0; t-- {
+		gates := l.gates[t]
+		cPrev := l.cs[t]
+		cNew := l.cs[t+1]
+		for s := 0; s < b; s++ {
+			gr := gates.Row(s)
+			dg := dgates.Row(s)
+			dhRow := l.dh.Row(s)
+			dcRow := l.dc.Row(s)
+			cp := cPrev.Row(s)
+			cn := cNew.Row(s)
+			for j := 0; j < h; j++ {
+				i, f, g, o := gr[j], gr[h+j], gr[2*h+j], gr[3*h+j]
+				tc := math.Tanh(cn[j])
+				dc := dcRow[j] + dhRow[j]*o*(1-tc*tc)
+				do := dhRow[j] * tc
+				di := dc * g
+				dgg := dc * i
+				df := dc * cp[j]
+				// pre-activation gradients
+				dg[j] = di * i * (1 - i)
+				dg[h+j] = df * f * (1 - f)
+				dg[2*h+j] = dgg * (1 - g*g)
+				dg[3*h+j] = do * o * (1 - o)
+				dcRow[j] = dc * f // flows to previous step
+			}
+		}
+		// parameter grads: dWx += dgatesᵀ·x_t ; dWh += dgatesᵀ·h_{t-1}
+		xt := l.stepInput(l.xs, t)
+		tensor.MulTransAInto(l.scratchWx, dgates, xt)
+		tensor.AddTo(gwx.Data, l.scratchWx.Data)
+		tensor.MulTransAInto(l.scratchWh, dgates, l.hs[t])
+		tensor.AddTo(gwh.Data, l.scratchWh.Data)
+		for s := 0; s < b; s++ {
+			tensor.AddTo(gb, dgates.Row(s))
+		}
+		// input grad for this step: dx_t = dgates·Wx
+		tensor.MulInto(dxt, dgates, wx)
+		for s := 0; s < b; s++ {
+			copy(l.dx.Row(s)[t*l.In:(t+1)*l.In], dxt.Row(s))
+		}
+		// hidden grad for previous step: dh_{t-1} = dgates·Wh
+		tensor.MulInto(l.dhNew, dgates, wh)
+		l.dh, l.dhNew = l.dhNew, l.dh
+	}
+	return l.dx
+}

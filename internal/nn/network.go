@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Network is a sequential stack of layers whose parameters live in a single
+// flat vector. That vector is the unit of exchange in the FL system: the
+// codec compresses it, the server aggregates it, and the proximal term
+// penalizes distance from it.
+type Network struct {
+	layers  []Layer
+	loss    Loss
+	weights []float64
+	grads   []float64
+	shapes  []Shape // concatenated layer shapes, for the codec
+
+	dlogits *tensor.Mat
+}
+
+// NewNetwork builds a network from layers, allocates the flat parameter
+// store, binds every layer and initializes weights from r. loss may be nil
+// for feature extractors; Backprop then panics.
+func NewNetwork(r *rng.RNG, loss Loss, layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: NewNetwork needs at least one layer")
+	}
+	total := 0
+	for _, l := range layers {
+		total += paramSize(l)
+	}
+	n := &Network{
+		layers:  layers,
+		loss:    loss,
+		weights: make([]float64, total),
+		grads:   make([]float64, total),
+	}
+	off := 0
+	for _, l := range layers {
+		sz := paramSize(l)
+		l.Bind(n.weights[off:off+sz], n.grads[off:off+sz])
+		l.Init(r)
+		off += sz
+		n.shapes = append(n.shapes, l.ParamShapes()...)
+	}
+	return n
+}
+
+// NumParams returns the total parameter count.
+func (n *Network) NumParams() int { return len(n.weights) }
+
+// Weights returns the live flat parameter vector (not a copy). Mutating it
+// mutates the model.
+func (n *Network) Weights() []float64 { return n.weights }
+
+// Grads returns the live flat gradient vector (not a copy).
+func (n *Network) Grads() []float64 { return n.grads }
+
+// ParamShapes returns the parameter block shapes in vector order, which the
+// codec transmits so the receiver can unmarshal (§4.3).
+func (n *Network) ParamShapes() []Shape { return n.shapes }
+
+// SetWeights copies v into the parameter vector.
+func (n *Network) SetWeights(v []float64) {
+	if len(v) != len(n.weights) {
+		panic(fmt.Sprintf("nn: SetWeights got %d floats, want %d", len(v), len(n.weights)))
+	}
+	copy(n.weights, v)
+}
+
+// WeightsCopy returns a copy of the parameter vector.
+func (n *Network) WeightsCopy() []float64 { return tensor.Copy(n.weights) }
+
+// ZeroGrad clears the gradient vector.
+func (n *Network) ZeroGrad() { tensor.Zero(n.grads) }
+
+// Forward runs the stack on a batch.
+func (n *Network) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h, train)
+	}
+	return h
+}
+
+// Backprop runs forward in training mode, computes the loss against labels,
+// and backpropagates, accumulating gradients. It returns the mean loss.
+// Call ZeroGrad first unless gradient accumulation is intended.
+func (n *Network) Backprop(x *tensor.Mat, labels []int) float64 {
+	if n.loss == nil {
+		panic("nn: Backprop on a network without a loss")
+	}
+	logits := n.Forward(x, true)
+	if n.dlogits == nil || n.dlogits.R != logits.R || n.dlogits.C != logits.C {
+		n.dlogits = tensor.NewMat(logits.R, logits.C)
+	}
+	lv := n.loss.Compute(logits, labels, n.dlogits)
+	d := n.dlogits
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		d = n.layers[i].Backward(d)
+	}
+	return lv
+}
+
+// Eval runs the network in inference mode and returns the number of correct
+// argmax predictions and the mean loss over the batch.
+func (n *Network) Eval(x *tensor.Mat, labels []int) (correct int, loss float64) {
+	logits := n.Forward(x, false)
+	if n.dlogits == nil || n.dlogits.R != logits.R || n.dlogits.C != logits.C {
+		n.dlogits = tensor.NewMat(logits.R, logits.C)
+	}
+	if n.loss != nil {
+		loss = n.loss.Compute(logits, labels, n.dlogits)
+	}
+	for i := 0; i < logits.R; i++ {
+		if tensor.ArgMax(logits.Row(i)) == labels[i] {
+			correct++
+		}
+	}
+	return correct, loss
+}
+
+// Predict returns the argmax class for each row of x.
+func (n *Network) Predict(x *tensor.Mat) []int {
+	logits := n.Forward(x, false)
+	out := make([]int, logits.R)
+	for i := range out {
+		out[i] = tensor.ArgMax(logits.Row(i))
+	}
+	return out
+}

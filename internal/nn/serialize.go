@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the gob form of a trained model: the flat weight vector
+// plus the parameter-shape table, which acts as an architecture
+// fingerprint so a checkpoint cannot be loaded into a different network.
+type checkpoint struct {
+	Shapes  []Shape
+	Weights []float64
+}
+
+// Save writes the network's weights (not its architecture — that is code)
+// with a shape fingerprint.
+func (n *Network) Save(w io.Writer) error {
+	cp := checkpoint{Shapes: n.shapes, Weights: n.weights}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores weights saved by Save into this network. The checkpoint's
+// shape table must match the network's exactly.
+func (n *Network) Load(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	if len(cp.Shapes) != len(n.shapes) {
+		return fmt.Errorf("nn: load: checkpoint has %d parameter blocks, network has %d",
+			len(cp.Shapes), len(n.shapes))
+	}
+	for i, s := range cp.Shapes {
+		if !sameShape(s, n.shapes[i]) {
+			return fmt.Errorf("nn: load: block %d is %v %v, network expects %v %v",
+				i, s.Name, s.Dims, n.shapes[i].Name, n.shapes[i].Dims)
+		}
+	}
+	if len(cp.Weights) != len(n.weights) {
+		return fmt.Errorf("nn: load: checkpoint has %d weights, network has %d",
+			len(cp.Weights), len(n.weights))
+	}
+	copy(n.weights, cp.Weights)
+	return nil
+}
+
+func sameShape(a, b Shape) bool {
+	if a.Name != b.Name || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	return true
+}

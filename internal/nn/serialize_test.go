@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := NewMLP(rng.New(1), 6, 8, 3)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewMLP(rng.New(2), 6, 8, 3) // different init
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMat(3, 6)
+	r := rng.New(3)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	if !tensor.Equal(a.Forward(x, false), b.Forward(x, false), 0) {
+		t.Fatal("loaded network differs from saved one")
+	}
+}
+
+func TestLoadRejectsArchitectureMismatch(t *testing.T) {
+	a := NewMLP(rng.New(1), 6, 8, 3)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Network{
+		NewMLP(rng.New(1), 6, 9, 3), // different hidden width
+		NewMLP(rng.New(1), 6, 3),    // different depth
+		NewLogistic(rng.New(1), 6, 3),
+	}
+	for i, n := range cases {
+		if err := n.Load(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatalf("case %d: mismatched architecture accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	n := NewMLP(rng.New(1), 4, 2)
+	if err := n.Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadCNNAndLSTM(t *testing.T) {
+	builders := []func(seed uint64) *Network{
+		func(s uint64) *Network {
+			return NewCNN(rng.New(s), CNNConfig{InC: 1, H: 6, W: 6, ConvC: []int{2}, Kernel: 3, Hidden: 4, Classes: 3, PoolEvery: 1})
+		},
+		func(s uint64) *Network {
+			return NewLSTMClassifier(rng.New(s), LSTMConfig{Vocab: 6, Emb: 3, Hidden: 4, SeqLen: 3, Classes: 6, BatchNorm: true})
+		},
+	}
+	for i, build := range builders {
+		a := build(1)
+		var buf bytes.Buffer
+		if err := a.Save(&buf); err != nil {
+			t.Fatalf("case %d save: %v", i, err)
+		}
+		b := build(9)
+		if err := b.Load(&buf); err != nil {
+			t.Fatalf("case %d load: %v", i, err)
+		}
+		for j := range a.Weights() {
+			if a.Weights()[j] != b.Weights()[j] {
+				t.Fatalf("case %d weights differ after load", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package opt
+
+import "math"
+
+// This file holds the training utilities FL deployments commonly layer on
+// top of the base optimizers: global-norm gradient clipping, decoupled
+// weight decay, and learning-rate schedules. They are exercised by the
+// ablation benches; the paper's main configuration uses plain Adam.
+
+// ClipNorm scales g in place so its global L2 norm is at most maxNorm, and
+// returns the pre-clip norm. maxNorm <= 0 disables clipping.
+func ClipNorm(g []float64, maxNorm float64) float64 {
+	s := 0.0
+	for _, v := range g {
+		s += v * v
+	}
+	norm := math.Sqrt(s)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for i := range g {
+		g[i] *= scale
+	}
+	return norm
+}
+
+// AddWeightDecay adds decoupled L2 decay to the gradient: g += wd·w.
+func AddWeightDecay(g, w []float64, wd float64) {
+	if wd == 0 {
+		return
+	}
+	if len(g) != len(w) {
+		panic("opt: AddWeightDecay length mismatch")
+	}
+	for i := range g {
+		g[i] += wd * w[i]
+	}
+}
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// ConstLR is a fixed learning rate.
+type ConstLR float64
+
+// LR implements Schedule.
+func (c ConstLR) LR(int) float64 { return float64(c) }
+
+// CosineLR anneals from Base to Floor over Steps steps, then stays at
+// Floor.
+type CosineLR struct {
+	Base, Floor float64
+	Steps       int
+}
+
+// LR implements Schedule.
+func (c CosineLR) LR(step int) float64 {
+	if c.Steps <= 0 || step >= c.Steps {
+		return c.Floor
+	}
+	frac := float64(step) / float64(c.Steps)
+	return c.Floor + (c.Base-c.Floor)*0.5*(1+math.Cos(math.Pi*frac))
+}
+
+// StepLR multiplies Base by Gamma every Every steps.
+type StepLR struct {
+	Base, Gamma float64
+	Every       int
+}
+
+// LR implements Schedule.
+func (s StepLR) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// lrSettable is satisfied by optimizers whose learning rate can be swapped
+// per step.
+type lrSettable interface {
+	Optimizer
+	setLR(lr float64)
+}
+
+func (s *SGD) setLR(lr float64)  { s.LR = lr }
+func (a *Adam) setLR(lr float64) { a.LR = lr }
+
+// Scheduled wraps an optimizer with a learning-rate schedule.
+type Scheduled struct {
+	base  lrSettable
+	sched Schedule
+	step  int
+}
+
+// WithSchedule attaches a schedule to an SGD or Adam optimizer. It panics
+// for optimizers without a settable learning rate.
+func WithSchedule(o Optimizer, s Schedule) *Scheduled {
+	ls, ok := o.(lrSettable)
+	if !ok {
+		panic("opt: optimizer does not support schedules")
+	}
+	return &Scheduled{base: ls, sched: s}
+}
+
+// Step implements Optimizer.
+func (s *Scheduled) Step(w, g []float64) {
+	s.base.setLR(s.sched.LR(s.step))
+	s.step++
+	s.base.Step(w, g)
+}
+
+// Reset implements Optimizer (also rewinds the schedule).
+func (s *Scheduled) Reset() {
+	s.step = 0
+	s.base.Reset()
+}

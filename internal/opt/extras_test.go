@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClipNormScalesDown(t *testing.T) {
+	g := []float64{3, 4} // norm 5
+	pre := ClipNorm(g, 1)
+	if pre != 5 {
+		t.Fatalf("pre-clip norm %v, want 5", pre)
+	}
+	if math.Abs(math.Hypot(g[0], g[1])-1) > 1e-12 {
+		t.Fatalf("clipped norm %v, want 1", math.Hypot(g[0], g[1]))
+	}
+	// Direction preserved.
+	if math.Abs(g[0]/g[1]-0.75) > 1e-12 {
+		t.Fatalf("clipping changed direction: %v", g)
+	}
+}
+
+func TestClipNormNoopCases(t *testing.T) {
+	g := []float64{0.3, 0.4}
+	ClipNorm(g, 1) // norm 0.5 <= 1
+	if g[0] != 0.3 || g[1] != 0.4 {
+		t.Fatal("under-norm gradient modified")
+	}
+	ClipNorm(g, 0) // disabled
+	if g[0] != 0.3 {
+		t.Fatal("disabled clipping modified gradient")
+	}
+	z := []float64{0, 0}
+	ClipNorm(z, 1) // zero gradient must not NaN
+	if z[0] != 0 || math.IsNaN(z[0]) {
+		t.Fatal("zero gradient mishandled")
+	}
+}
+
+func TestClipNormBoundProperty(t *testing.T) {
+	f := func(raw [6]float64, maxRaw float64) bool {
+		g := make([]float64, 6)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				v = 1
+			}
+			g[i] = v
+		}
+		maxNorm := math.Abs(maxRaw)
+		if !(maxNorm > 1e-6 && maxNorm < 1e6) {
+			maxNorm = 2
+		}
+		ClipNorm(g, maxNorm)
+		s := 0.0
+		for _, v := range g {
+			s += v * v
+		}
+		return math.Sqrt(s) <= maxNorm*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddWeightDecay(t *testing.T) {
+	g := []float64{1, 1}
+	AddWeightDecay(g, []float64{2, -4}, 0.5)
+	if g[0] != 2 || g[1] != -1 {
+		t.Fatalf("weight decay wrong: %v", g)
+	}
+	AddWeightDecay(g, []float64{9, 9}, 0)
+	if g[0] != 2 {
+		t.Fatal("zero decay modified gradient")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	c := CosineLR{Base: 1, Floor: 0.1, Steps: 100}
+	if c.LR(0) != 1 {
+		t.Fatalf("cosine start %v", c.LR(0))
+	}
+	mid := c.LR(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("cosine midpoint %v, want 0.55", mid)
+	}
+	if c.LR(100) != 0.1 || c.LR(1000) != 0.1 {
+		t.Fatal("cosine floor wrong")
+	}
+	for s := 1; s <= 100; s++ {
+		if c.LR(s) > c.LR(s-1)+1e-12 {
+			t.Fatalf("cosine not monotone at %d", s)
+		}
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.1, Every: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("step schedule decayed early")
+	}
+	if math.Abs(s.LR(10)-0.1) > 1e-12 || math.Abs(s.LR(25)-0.01) > 1e-12 {
+		t.Fatalf("step schedule wrong: %v %v", s.LR(10), s.LR(25))
+	}
+}
+
+func TestScheduledOptimizer(t *testing.T) {
+	sgd := NewSGD(999) // schedule must override this
+	sched := WithSchedule(sgd, StepLR{Base: 0.5, Gamma: 0.5, Every: 1})
+	w := []float64{0}
+	sched.Step(w, []float64{1}) // lr 0.5
+	if w[0] != -0.5 {
+		t.Fatalf("first scheduled step: %v", w[0])
+	}
+	sched.Step(w, []float64{1}) // lr 0.25
+	if math.Abs(w[0]-(-0.75)) > 1e-12 {
+		t.Fatalf("second scheduled step: %v", w[0])
+	}
+	sched.Reset()
+	w[0] = 0
+	sched.Step(w, []float64{1})
+	if w[0] != -0.5 {
+		t.Fatal("Reset did not rewind the schedule")
+	}
+}
+
+func TestScheduledConvergesOnQuadratic(t *testing.T) {
+	sched := WithSchedule(NewAdam(0), CosineLR{Base: 0.2, Floor: 0.01, Steps: 300})
+	runToConvergence(t, sched, 400)
+}

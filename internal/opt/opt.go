@@ -1,0 +1,125 @@
+// Package opt implements the local solvers used by federated clients: SGD
+// with optional momentum and Adam (the paper's local solver, §6
+// "Hyperparameters"), plus the proximal-term helper that implements the
+// constrained local objective of Eq. 3,
+//
+//	h_k(w) = F_k(w) + λ/2·‖w − w_global‖².
+//
+// Optimizers operate on the flat weight/gradient vectors exposed by
+// nn.Network, which keeps them oblivious to layer structure.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates a flat weight vector in place from a flat gradient
+// vector. Implementations keep per-coordinate state sized on first use and
+// reset it with Reset.
+type Optimizer interface {
+	// Step applies one update. len(w) must equal len(g) and stay constant
+	// across calls between Resets.
+	Step(w, g []float64)
+	// Reset clears accumulated state (momentum, moment estimates).
+	Reset()
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel []float64
+}
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// NewSGDMomentum returns SGD with classical momentum.
+func NewSGDMomentum(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(w, g []float64) {
+	if len(w) != len(g) {
+		panic("opt: SGD weight/gradient length mismatch")
+	}
+	if s.Momentum == 0 {
+		tensor.Axpy(-s.LR, g, w)
+		return
+	}
+	if len(s.vel) != len(w) {
+		s.vel = make([]float64, len(w))
+	}
+	for i, gv := range g {
+		s.vel[i] = s.Momentum*s.vel[i] - s.LR*gv
+		w[i] += s.vel[i]
+	}
+}
+
+// Reset implements Optimizer.
+func (s *SGD) Reset() { s.vel = nil }
+
+// Adam implements Kingma & Ba's optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t    int
+	m, v []float64
+}
+
+// NewAdam returns Adam with the standard defaults (β1=0.9, β2=0.999,
+// ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(w, g []float64) {
+	if len(w) != len(g) {
+		panic("opt: Adam weight/gradient length mismatch")
+	}
+	if len(a.m) != len(w) {
+		a.m = make([]float64, len(w))
+		a.v = make([]float64, len(w))
+		a.t = 0
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, gv := range g {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*gv
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*gv*gv
+		mh := a.m[i] / c1
+		vh := a.v[i] / c2
+		w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+// AddProximal adds the gradient of the proximal term λ/2·‖w−anchor‖² to g,
+// i.e. g += λ·(w − anchor). This is how clients realize the local constraint
+// of Eq. 3; λ=0 is a no-op (FedAvg behaviour).
+func AddProximal(g, w, anchor []float64, lambda float64) {
+	if lambda == 0 {
+		return
+	}
+	if len(g) != len(w) || len(w) != len(anchor) {
+		panic("opt: AddProximal length mismatch")
+	}
+	for i := range g {
+		g[i] += lambda * (w[i] - anchor[i])
+	}
+}
+
+// ProximalLoss returns λ/2·‖w−anchor‖², the penalty value itself, for
+// logging the full surrogate objective h_k.
+func ProximalLoss(w, anchor []float64, lambda float64) float64 {
+	if lambda == 0 {
+		return 0
+	}
+	return lambda / 2 * tensor.SqDist(w, anchor)
+}

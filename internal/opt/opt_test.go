@@ -1,0 +1,141 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// quadGrad returns the gradient of f(w) = Σ (w_i - target_i)².
+func quadGrad(w, target []float64) []float64 {
+	g := make([]float64, len(w))
+	for i := range w {
+		g[i] = 2 * (w[i] - target[i])
+	}
+	return g
+}
+
+func runToConvergence(t *testing.T, o Optimizer, steps int) []float64 {
+	t.Helper()
+	w := []float64{5, -3, 0.5}
+	target := []float64{1, 2, -1}
+	for i := 0; i < steps; i++ {
+		o.Step(w, quadGrad(w, target))
+	}
+	for i := range w {
+		if math.Abs(w[i]-target[i]) > 0.05 {
+			t.Fatalf("optimizer did not converge: w=%v target=%v", w, target)
+		}
+	}
+	return w
+}
+
+func TestSGDConverges(t *testing.T)         { runToConvergence(t, NewSGD(0.1), 200) }
+func TestSGDMomentumConverges(t *testing.T) { runToConvergence(t, NewSGDMomentum(0.05, 0.9), 300) }
+func TestAdamConverges(t *testing.T)        { runToConvergence(t, NewAdam(0.1), 400) }
+
+func TestSGDStepDirection(t *testing.T) {
+	w := []float64{1}
+	NewSGD(0.5).Step(w, []float64{2})
+	if w[0] != 0 {
+		t.Fatalf("SGD step wrong: %v", w[0])
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction the first Adam step has magnitude ≈ LR
+	// regardless of gradient scale.
+	for _, scale := range []float64{1e-4, 1, 1e4} {
+		a := NewAdam(0.01)
+		w := []float64{0}
+		a.Step(w, []float64{scale})
+		if math.Abs(math.Abs(w[0])-0.01) > 1e-3 {
+			t.Fatalf("first Adam step %v for gradient %v, want ~0.01", w[0], scale)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	a := NewAdam(0.1)
+	w := []float64{1, 1}
+	a.Step(w, []float64{1, 1})
+	a.Reset()
+	if a.m != nil || a.v != nil || a.t != 0 {
+		t.Fatal("Adam Reset incomplete")
+	}
+	s := NewSGDMomentum(0.1, 0.9)
+	s.Step(w, []float64{1, 1})
+	s.Reset()
+	if s.vel != nil {
+		t.Fatal("SGD Reset incomplete")
+	}
+}
+
+func TestAddProximalGradient(t *testing.T) {
+	g := []float64{0, 0}
+	w := []float64{3, 1}
+	anchor := []float64{1, 1}
+	AddProximal(g, w, anchor, 0.4)
+	if math.Abs(g[0]-0.8) > 1e-12 || g[1] != 0 {
+		t.Fatalf("proximal gradient wrong: %v", g)
+	}
+}
+
+func TestAddProximalZeroLambdaNoop(t *testing.T) {
+	g := []float64{1, 2}
+	AddProximal(g, []float64{9, 9}, []float64{0, 0}, 0)
+	if g[0] != 1 || g[1] != 2 {
+		t.Fatal("λ=0 modified gradients")
+	}
+}
+
+func TestProximalLossMatchesGradient(t *testing.T) {
+	// Property: the analytic proximal gradient matches finite differences
+	// of ProximalLoss.
+	f := func(wv, av float64) bool {
+		if math.IsNaN(wv) || math.IsInf(wv, 0) || math.Abs(wv) > 1e6 {
+			wv = 1
+		}
+		if math.IsNaN(av) || math.IsInf(av, 0) || math.Abs(av) > 1e6 {
+			av = 0
+		}
+		lambda := 0.4
+		w := []float64{wv}
+		anchor := []float64{av}
+		g := []float64{0}
+		AddProximal(g, w, anchor, lambda)
+		eps := 1e-6 * (1 + math.Abs(wv))
+		lp := ProximalLoss([]float64{wv + eps}, anchor, lambda)
+		lm := ProximalLoss([]float64{wv - eps}, anchor, lambda)
+		numeric := (lp - lm) / (2 * eps)
+		return math.Abs(numeric-g[0]) <= 1e-4*(1+math.Abs(g[0]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProximalPullsTowardAnchor(t *testing.T) {
+	// Minimizing only the proximal term should drive w to the anchor.
+	w := []float64{10, -10}
+	anchor := []float64{2, 3}
+	s := NewSGD(0.5)
+	g := make([]float64, 2)
+	for i := 0; i < 100; i++ {
+		g[0], g[1] = 0, 0
+		AddProximal(g, w, anchor, 1.0)
+		s.Step(w, g)
+	}
+	if math.Abs(w[0]-2) > 1e-6 || math.Abs(w[1]-3) > 1e-6 {
+		t.Fatalf("proximal descent did not reach anchor: %v", w)
+	}
+}
+
+func TestStepLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	NewSGD(0.1).Step([]float64{1}, []float64{1, 2})
+}

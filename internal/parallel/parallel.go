@@ -1,0 +1,152 @@
+// Package parallel provides the small set of fork-join helpers used by the
+// tensor kernels, the client trainers and the evaluation harness.
+//
+// All helpers are deterministic with respect to the result: workers write to
+// disjoint index ranges, so the outcome never depends on scheduling. That
+// property is what lets the experiment harness train many federated clients
+// concurrently while staying bit-reproducible.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps worker counts; GOMAXPROCS already reflects the machine,
+// the cap only guards against pathological explicit requests.
+const maxWorkers = 1024
+
+// Workers returns the effective worker count for a job of size n: at most
+// GOMAXPROCS, at most n, and at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	return w
+}
+
+// For runs body(i) for every i in [0, n), splitting the range over workers.
+// body must only touch state owned by index i. Small n short-circuits to a
+// serial loop to avoid goroutine overhead.
+func For(n int, body func(i int)) {
+	ForWorkers(n, Workers(n), body)
+}
+
+// ForWorkers is For with an explicit worker count (used by benchmarks and
+// by callers that know the per-item cost is tiny).
+func ForWorkers(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	// Contiguous chunks rather than striding: better cache behaviour for
+	// the dense kernels that dominate this repo's CPU time.
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked runs body(lo, hi) over contiguous chunks covering [0, n).
+// Useful when the body wants to amortize per-call setup across a range.
+func ForChunked(n int, body func(lo, hi int)) {
+	workers := Workers(n)
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			wg.Done()
+			continue
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce applies body(i) for i in [0, n) and combines the per-worker
+// partial results with combine. body returns a partial value that combine
+// folds; combine must be associative and commutative. The zero value of T
+// must be the identity for combine.
+func MapReduce[T any](n int, body func(i int) T, combine func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	workers := Workers(n)
+	if workers <= 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = combine(acc, body(i))
+		}
+		return acc
+	}
+	partials := make([]T, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := zero
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, body(i))
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := zero
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}

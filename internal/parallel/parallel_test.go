@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForWorkersSerialEqualsParallel(t *testing.T) {
+	n := 513
+	serial := make([]int, n)
+	ForWorkers(n, 1, func(i int) { serial[i] = i * i })
+	par := make([]int, n)
+	ForWorkers(n, 8, func(i int) { par[i] = i * i })
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestForChunkedCoverage(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw % 2048)
+		seen := make([]int32, n)
+		ForChunked(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	n := 10000
+	got := MapReduce(n, func(i int) int64 { return int64(i) }, func(a, b int64) int64 { return a + b })
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("MapReduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, func(i int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("MapReduce over empty range = %d, want 0", got)
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Fatalf("Workers(big) = %d", w)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(64, func(int) {})
+	}
+}

@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ClientRuntime models one client's performance characteristics.
+type ClientRuntime struct {
+	ID int
+	// Part is the ground-truth speed group the delay range came from
+	// (0 = fastest). The tiering module profiles latencies and should
+	// approximately recover these parts.
+	Part int
+	// DelayLo/DelayHi bound the per-round injected delay (seconds),
+	// reproducing the paper's 0s, 0–5s, 6–10s, 11–15s, 20–30s groups.
+	DelayLo, DelayHi float64
+	// SecPerBatch is this client's compute time per mini-batch step.
+	SecPerBatch float64
+	// UpBW/DownBW are the client-side link speeds in bytes/second
+	// (<=0 = infinite).
+	UpBW, DownBW float64
+	// DropAt is the virtual time at which the client permanently leaves
+	// (+Inf for stable clients).
+	DropAt float64
+
+	delayRNG *rng.RNG
+}
+
+// RoundDelay draws this round's injected delay.
+func (c *ClientRuntime) RoundDelay() float64 {
+	if c.DelayHi <= c.DelayLo {
+		return c.DelayLo
+	}
+	return c.delayRNG.Uniform(c.DelayLo, c.DelayHi)
+}
+
+// ComputeTime returns the compute portion of a round that runs the given
+// number of mini-batch steps.
+func (c *ClientRuntime) ComputeTime(batchSteps int) float64 {
+	return float64(batchSteps) * c.SecPerBatch
+}
+
+// Available reports whether the client is still online at time t.
+func (c *ClientRuntime) Available(t float64) bool { return t < c.DropAt }
+
+// ExpectedLatency is the profiling estimate the tiering module uses: the
+// compute time for a nominal round plus the mean injected delay.
+func (c *ClientRuntime) ExpectedLatency(batchSteps int) float64 {
+	return c.ComputeTime(batchSteps) + (c.DelayLo+c.DelayHi)/2
+}
+
+// DefaultDelayRanges are the paper's five injected-delay groups (§6).
+var DefaultDelayRanges = [][2]float64{{0, 0}, {0, 5}, {6, 10}, {11, 15}, {20, 30}}
+
+// ClusterConfig configures the simulated client population.
+type ClusterConfig struct {
+	NumClients int
+	// DelayRanges lists the per-part injected delay bounds; defaults to
+	// DefaultDelayRanges.
+	DelayRanges [][2]float64
+	// PartSizes optionally fixes how many clients land in each part (the
+	// Figure 10 Uniform/Slow/Medium/Fast distributions). Defaults to an
+	// even split. Must sum to NumClients when set.
+	PartSizes []int
+	// NumUnstable clients drop out permanently at a uniform random time in
+	// (0, DropHorizon] — the paper uses 10.
+	NumUnstable int
+	DropHorizon float64
+	// SecPerBatch is the base compute time per mini-batch; each client gets
+	// a persistent ±30% speed factor on top.
+	SecPerBatch float64
+	// UpBW/DownBW are client link speeds, ServerBW the shared server link
+	// speed (bytes/second; <= 0 = infinite).
+	UpBW, DownBW, ServerBW float64
+	Seed                   uint64
+}
+
+// Cluster is the simulated population plus the server's shared links.
+type Cluster struct {
+	Clients    []*ClientRuntime
+	ServerUp   *Link // client→server direction
+	ServerDown *Link // server→client direction
+}
+
+// NewCluster builds the population: clients are randomly divided into the
+// delay parts (even split unless PartSizes is set), receive persistent
+// compute-speed factors, and NumUnstable of them get finite drop times.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("simnet: NumClients must be positive")
+	}
+	ranges := cfg.DelayRanges
+	if len(ranges) == 0 {
+		ranges = DefaultDelayRanges
+	}
+	parts := cfg.PartSizes
+	if len(parts) == 0 {
+		parts = evenSplit(cfg.NumClients, len(ranges))
+	}
+	if len(parts) != len(ranges) {
+		return nil, fmt.Errorf("simnet: %d part sizes for %d delay ranges", len(parts), len(ranges))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	if total != cfg.NumClients {
+		return nil, fmt.Errorf("simnet: part sizes sum to %d, want %d", total, cfg.NumClients)
+	}
+	if cfg.NumUnstable > cfg.NumClients {
+		return nil, fmt.Errorf("simnet: more unstable clients than clients")
+	}
+	secPerBatch := cfg.SecPerBatch
+	if secPerBatch <= 0 {
+		secPerBatch = 0.05
+	}
+	dropHorizon := cfg.DropHorizon
+	if dropHorizon <= 0 {
+		dropHorizon = 1000
+	}
+
+	root := rng.New(cfg.Seed)
+	order := root.SplitLabeled(1).Perm(cfg.NumClients)
+
+	cl := &Cluster{
+		Clients:    make([]*ClientRuntime, cfg.NumClients),
+		ServerUp:   &Link{Bandwidth: cfg.ServerBW},
+		ServerDown: &Link{Bandwidth: cfg.ServerBW},
+	}
+	idx := 0
+	for part, size := range parts {
+		for j := 0; j < size; j++ {
+			id := order[idx]
+			idx++
+			cr := root.SplitLabeled(uint64(1000 + id))
+			speed := 0.7 + 0.6*cr.Float64() // persistent ±30% factor
+			cl.Clients[id] = &ClientRuntime{
+				ID:          id,
+				Part:        part,
+				DelayLo:     ranges[part][0],
+				DelayHi:     ranges[part][1],
+				SecPerBatch: secPerBatch * speed,
+				UpBW:        cfg.UpBW,
+				DownBW:      cfg.DownBW,
+				DropAt:      Inf,
+				delayRNG:    cr.SplitLabeled(7),
+			}
+		}
+	}
+	// Unstable clients: uniform choice, uniform drop times.
+	ur := root.SplitLabeled(2)
+	for _, id := range ur.Choose(cfg.NumClients, cfg.NumUnstable) {
+		cl.Clients[id].DropAt = ur.Uniform(0, dropHorizon)
+	}
+	return cl, nil
+}
+
+func evenSplit(n, parts int) []int {
+	out := make([]int, parts)
+	base := n / parts
+	rem := n % parts
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// UploadArrival models a client→server transfer started at now: the client
+// pushes at its own link speed while the server link serializes concurrent
+// transfers; the payload lands when both are done.
+func (c *Cluster) UploadArrival(now float64, client *ClientRuntime, bytes int) float64 {
+	clientDone := now
+	if client.UpBW > 0 {
+		clientDone = now + float64(bytes)/client.UpBW
+	}
+	serverDone := c.ServerUp.Transfer(now, bytes)
+	if clientDone > serverDone {
+		return clientDone
+	}
+	return serverDone
+}
+
+// DownloadArrival models a server→client transfer started at now.
+func (c *Cluster) DownloadArrival(now float64, client *ClientRuntime, bytes int) float64 {
+	clientDone := now
+	if client.DownBW > 0 {
+		clientDone = now + float64(bytes)/client.DownBW
+	}
+	serverDone := c.ServerDown.Transfer(now, bytes)
+	if clientDone > serverDone {
+		return clientDone
+	}
+	return serverDone
+}

@@ -1,0 +1,96 @@
+package tensor
+
+// Im2Col lowers a CHW image into a matrix of receptive-field columns so a
+// convolution becomes one matrix multiply (the standard im2col transform).
+//
+// Input img has channels*h*w elements, laid out channel-major (CHW).
+// Output is a (channels*kh*kw) × (outH*outW) matrix written into dst, where
+// outH = (h+2*pad-kh)/stride + 1 and likewise for outW. Out-of-bounds
+// (padding) positions contribute zeros.
+func Im2Col(img []float64, channels, h, w, kh, kw, stride, pad int, dst *Mat) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if dst.R != channels*kh*kw || dst.C != outH*outW {
+		panic("tensor: Im2Col dst shape mismatch")
+	}
+	if len(img) != channels*h*w {
+		panic("tensor: Im2Col img length mismatch")
+	}
+	row := 0
+	for c := 0; c < channels; c++ {
+		chn := img[c*h*w : (c+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				out := dst.Row(row)
+				row++
+				col := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							out[col] = 0
+							col++
+						}
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							out[col] = 0
+						} else {
+							out[col] = chn[base+ix]
+						}
+						col++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters gradient columns back into image space; it is the adjoint
+// of Im2Col and accumulates (+=) into img, which the caller should zero
+// first. Shapes mirror Im2Col.
+func Col2Im(cols *Mat, channels, h, w, kh, kw, stride, pad int, img []float64) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if cols.R != channels*kh*kw || cols.C != outH*outW {
+		panic("tensor: Col2Im cols shape mismatch")
+	}
+	if len(img) != channels*h*w {
+		panic("tensor: Col2Im img length mismatch")
+	}
+	row := 0
+	for c := 0; c < channels; c++ {
+		chn := img[c*h*w : (c+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				in := cols.Row(row)
+				row++
+				col := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						col += outW
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							chn[base+ix] += in[col]
+						}
+						col++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution/pool with the
+// given input size, kernel, stride and padding.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Mat is a dense, row-major matrix. Data is length R*C; element (i,j) lives
+// at Data[i*C+j]. The zero value is an empty matrix.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// NewMat allocates an R×C zero matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic("tensor: NewMat with negative dimension")
+	}
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// MatFrom wraps an existing slice as an R×C matrix without copying.
+func MatFrom(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: MatFrom %dx%d needs %d elements, got %d", r, c, r*c, len(data)))
+	}
+	return &Mat{R: r, C: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	return &Mat{R: m.R, C: m.C, Data: Copy(m.Data)}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.C+i] = v
+		}
+	}
+	return t
+}
+
+// parallelRowThreshold: below this many result elements the goroutine
+// fan-out costs more than it saves.
+const parallelRowThreshold = 16 * 1024
+
+// MulInto computes dst = a·b. Shapes must satisfy a.C == b.R,
+// dst.R == a.R, dst.C == b.C. dst must not alias a or b.
+func MulInto(dst, a, b *Mat) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("tensor: MulInto shape mismatch (%dx%d)·(%dx%d)→(%dx%d)",
+			a.R, a.C, b.R, b.C, dst.R, dst.C))
+	}
+	body := func(i int) {
+		out := dst.Row(i)
+		Zero(out)
+		arow := a.Row(i)
+		// k-outer loop: stream through b row-by-row, which keeps the inner
+		// loop a contiguous axpy and lets the compiler vectorize it.
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.C : (k+1)*b.C]
+			for j, bv := range brow {
+				out[j] += av * bv
+			}
+		}
+	}
+	if dst.R*dst.C >= parallelRowThreshold && dst.R > 1 {
+		parallel.For(a.R, body)
+		return
+	}
+	for i := 0; i < a.R; i++ {
+		body(i)
+	}
+}
+
+// Mul returns a·b in a fresh matrix.
+func Mul(a, b *Mat) *Mat {
+	dst := NewMat(a.R, b.C)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// MulTransAInto computes dst = aᵀ·b without materializing aᵀ.
+// Shapes: a is K×M, b is K×N, dst is M×N.
+func MulTransAInto(dst, a, b *Mat) {
+	if a.R != b.R || dst.R != a.C || dst.C != b.C {
+		panic(fmt.Sprintf("tensor: MulTransAInto shape mismatch (%dx%d)ᵀ·(%dx%d)→(%dx%d)",
+			a.R, a.C, b.R, b.C, dst.R, dst.C))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	accumulate := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				out := dst.Data[i*dst.C : (i+1)*dst.C]
+				for j, bv := range brow {
+					out[j] += av * bv
+				}
+			}
+		}
+	}
+	// Parallelizing over k would race on dst; parallelize over dst rows
+	// instead when it is worth it, otherwise run serial.
+	if dst.R >= 4 && dst.R*dst.C >= parallelRowThreshold {
+		parallel.For(dst.R, func(i int) {
+			out := dst.Row(i)
+			for k := 0; k < a.R; k++ {
+				av := a.At(k, i)
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					out[j] += av * bv
+				}
+			}
+		})
+		return
+	}
+	accumulate(0, a.R)
+}
+
+// MulTransBInto computes dst = a·bᵀ without materializing bᵀ.
+// Shapes: a is M×K, b is N×K, dst is M×N.
+func MulTransBInto(dst, a, b *Mat) {
+	if a.C != b.C || dst.R != a.R || dst.C != b.R {
+		panic(fmt.Sprintf("tensor: MulTransBInto shape mismatch (%dx%d)·(%dx%d)ᵀ→(%dx%d)",
+			a.R, a.C, b.R, b.C, dst.R, dst.C))
+	}
+	body := func(i int) {
+		arow := a.Row(i)
+		out := dst.Row(i)
+		for j := 0; j < b.R; j++ {
+			out[j] = Dot(arow, b.Row(j))
+		}
+	}
+	if dst.R*dst.C >= parallelRowThreshold && dst.R > 1 {
+		parallel.For(a.R, body)
+		return
+	}
+	for i := 0; i < a.R; i++ {
+		body(i)
+	}
+}
+
+// AddRowVec adds the length-C vector v to every row of m, in place.
+func (m *Mat) AddRowVec(v []float64) {
+	if len(v) != m.C {
+		panic("tensor: AddRowVec length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		AddTo(m.Row(i), v)
+	}
+}
+
+// ColSumsInto writes the per-column sums of m into out (length C).
+func (m *Mat) ColSumsInto(out []float64) {
+	if len(out) != m.C {
+		panic("tensor: ColSumsInto length mismatch")
+	}
+	Zero(out)
+	for i := 0; i < m.R; i++ {
+		AddTo(out, m.Row(i))
+	}
+}
+
+// Equal reports whether a and b have identical shape and elements within tol.
+func Equal(a, b *Mat, tol float64) bool {
+	if a.R != b.R || a.C != b.C {
+		return false
+	}
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}

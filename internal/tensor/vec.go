@@ -1,0 +1,189 @@
+// Package tensor implements the dense numeric kernels the neural-network
+// substrate is built on: vector primitives, a 2-D matrix type with blocked,
+// parallel multiplication, and the im2col transform used by convolution.
+//
+// Everything operates on float64. The federated-learning experiments spend
+// almost all of their CPU time in these kernels, so the hot paths avoid
+// bounds checks where the compiler can prove ranges and split large
+// operations across GOMAXPROCS workers via internal/parallel.
+package tensor
+
+import "math"
+
+// Axpy computes y += a*x element-wise. x and y must have equal length.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// Scale multiplies every element of x by a, in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddTo computes dst[i] += src[i].
+func AddTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: AddTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// SubTo computes dst[i] -= src[i].
+func SubTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: SubTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Copy returns a fresh copy of x.
+func Copy(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist returns the squared Euclidean distance between x and y.
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: SqDist length mismatch")
+	}
+	s := 0.0
+	for i, xv := range x {
+		d := xv - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element of x and its index. It panics on empty x.
+func Max(x []float64) (float64, int) {
+	if len(x) == 0 {
+		panic("tensor: Max of empty slice")
+	}
+	best, arg := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, arg = v, i+1
+		}
+	}
+	return best, arg
+}
+
+// ArgMax returns the index of the maximum element of x.
+func ArgMax(x []float64) int {
+	_, i := Max(x)
+	return i
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates dst = (1-t)*dst + t*src, in place on dst.
+func Lerp(dst, src []float64, t float64) {
+	if len(dst) != len(src) {
+		panic("tensor: Lerp length mismatch")
+	}
+	for i := range dst {
+		dst[i] = (1-t)*dst[i] + t*src[i]
+	}
+}
+
+// WeightedSumInto writes dst = Σ_i weights[i]*vecs[i]. All vectors must have
+// the same length as dst. It panics when vecs is empty or lengths mismatch.
+func WeightedSumInto(dst []float64, weights []float64, vecs [][]float64) {
+	if len(weights) != len(vecs) {
+		panic("tensor: WeightedSumInto weights/vecs mismatch")
+	}
+	if len(vecs) == 0 {
+		panic("tensor: WeightedSumInto with no vectors")
+	}
+	Zero(dst)
+	for i, v := range vecs {
+		if len(v) != len(dst) {
+			panic("tensor: WeightedSumInto vector length mismatch")
+		}
+		Axpy(weights[i], v, dst)
+	}
+}
+
+// Softmax writes the softmax of logits into out (out may alias logits).
+func Softmax(logits, out []float64) {
+	if len(logits) != len(out) {
+		panic("tensor: Softmax length mismatch")
+	}
+	m, _ := Max(logits)
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - m)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+}

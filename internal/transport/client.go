@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// ClientConfig configures a FedAT training client.
+type ClientConfig struct {
+	Addr          string
+	ID            uint32
+	LatencyHintMs uint32
+	// ArtificialDelay is added before each upload — the transport-mode
+	// equivalent of the paper's injected straggler delays.
+	ArtificialDelay time.Duration
+
+	Data *dataset.ClientData
+	Net  *nn.Network
+	Opt  opt.Optimizer
+
+	Epochs    int
+	BatchSize int
+	Lambda    float64
+	// Codec compresses uploads; defaults to polyline precision 4.
+	Codec codec.Codec
+	Seed  uint64
+	Logf  func(format string, args ...any)
+}
+
+// RunClient connects, registers and serves training rounds until the server
+// sends a shutdown (returns nil) or the connection fails.
+func RunClient(cfg ClientConfig) error {
+	if cfg.Data == nil || cfg.Net == nil || cfg.Opt == nil {
+		return fmt.Errorf("transport: client needs data, model and optimizer")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 3
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 10
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = codec.NewPolyline(4)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+
+	reg := Register{
+		ClientID:      cfg.ID,
+		NumSamples:    uint32(cfg.Data.NumTrain()),
+		LatencyHintMs: cfg.LatencyHintMs,
+	}
+	if err := WriteFrame(conn, MsgRegister, reg.Marshal()); err != nil {
+		return err
+	}
+
+	trainer := fl.NewLocalClient(int(cfg.ID), cfg.Data, cfg.Net, cfg.Opt, cfg.Seed)
+	shapes := make([]codec.ShapeInfo, 0, len(cfg.Net.ParamShapes()))
+	for _, s := range cfg.Net.ParamShapes() {
+		shapes = append(shapes, codec.ShapeInfo{Name: s.Name, Dims: s.Dims})
+	}
+
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("transport: client %d read: %w", cfg.ID, err)
+		}
+		switch typ {
+		case MsgShutdown:
+			cfg.Logf("client %d: shutdown", cfg.ID)
+			return nil
+		case MsgModelPush:
+			round, modelMsg, err := ParseModelPush(payload)
+			if err != nil {
+				return err
+			}
+			_, global, err := codec.UnmarshalModel(modelMsg)
+			if err != nil {
+				return fmt.Errorf("transport: client %d unmarshal: %w", cfg.ID, err)
+			}
+			w, steps := trainer.TrainLocal(global, fl.LocalConfig{
+				Epochs:    cfg.Epochs,
+				BatchSize: cfg.BatchSize,
+				Lambda:    cfg.Lambda,
+				Round:     round,
+			})
+			if cfg.ArtificialDelay > 0 {
+				time.Sleep(cfg.ArtificialDelay)
+			}
+			up, err := codec.MarshalModel(cfg.Codec, shapes, w)
+			if err != nil {
+				return err
+			}
+			msg := ModelUpdate(cfg.ID, uint32(cfg.Data.NumTrain()), round, up)
+			if err := WriteFrame(conn, MsgModelUpdate, msg); err != nil {
+				return err
+			}
+			cfg.Logf("client %d: round %d done (%d steps)", cfg.ID, round, steps)
+		default:
+			return fmt.Errorf("transport: client %d unexpected message type %d", cfg.ID, typ)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package transport is the real networked deployment of FedAT: a TCP
+// message protocol, the server loop that drives per-tier synchronous rounds
+// over live connections, and the client loop that trains on push. It shares
+// the aggregation core (internal/core) and the client trainer (internal/fl)
+// with the simulator, so results produced in simulation describe the same
+// system that deploys here.
+//
+// Wire format: every message is a length-prefixed frame
+//
+//	[len u32][type u8][payload]
+//
+// with payloads encoded little-endian. Model payloads use the codec
+// package's self-describing marshal format, so the compression codec is
+// negotiated implicitly per message (§4.3's marshalling).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	// MsgRegister (client→server): clientID u32, numSamples u32,
+	// latencyHintMs u32.
+	MsgRegister byte = iota + 1
+	// MsgModelPush (server→client): round u64, model message.
+	MsgModelPush
+	// MsgModelUpdate (client→server): clientID u32, numSamples u32,
+	// round u64, model message.
+	MsgModelUpdate
+	// MsgShutdown (server→client): empty payload; the client exits.
+	MsgShutdown
+)
+
+// maxFrame bounds a frame so a corrupt peer cannot make us allocate
+// unboundedly.
+const maxFrame = 64 << 20
+
+// WriteFrame sends one message.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame receives one message.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: invalid frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: read payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// Register is the client hello.
+type Register struct {
+	ClientID      uint32
+	NumSamples    uint32
+	LatencyHintMs uint32
+}
+
+// Marshal encodes the register payload.
+func (m Register) Marshal() []byte {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint32(out[0:], m.ClientID)
+	binary.LittleEndian.PutUint32(out[4:], m.NumSamples)
+	binary.LittleEndian.PutUint32(out[8:], m.LatencyHintMs)
+	return out
+}
+
+// ParseRegister decodes a register payload.
+func ParseRegister(p []byte) (Register, error) {
+	if len(p) != 12 {
+		return Register{}, fmt.Errorf("transport: register payload %d bytes, want 12", len(p))
+	}
+	return Register{
+		ClientID:      binary.LittleEndian.Uint32(p[0:]),
+		NumSamples:    binary.LittleEndian.Uint32(p[4:]),
+		LatencyHintMs: binary.LittleEndian.Uint32(p[8:]),
+	}, nil
+}
+
+// ModelPush frames a global model for a round.
+func ModelPush(round uint64, model []byte) []byte {
+	out := make([]byte, 8+len(model))
+	binary.LittleEndian.PutUint64(out, round)
+	copy(out[8:], model)
+	return out
+}
+
+// ParseModelPush splits a push payload.
+func ParseModelPush(p []byte) (round uint64, model []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("transport: model push payload too short")
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// ModelUpdate frames a client's trained model.
+func ModelUpdate(clientID, numSamples uint32, round uint64, model []byte) []byte {
+	out := make([]byte, 16+len(model))
+	binary.LittleEndian.PutUint32(out[0:], clientID)
+	binary.LittleEndian.PutUint32(out[4:], numSamples)
+	binary.LittleEndian.PutUint64(out[8:], round)
+	copy(out[16:], model)
+	return out
+}
+
+// ParseModelUpdate splits an update payload.
+func ParseModelUpdate(p []byte) (clientID, numSamples uint32, round uint64, model []byte, err error) {
+	if len(p) < 16 {
+		return 0, 0, 0, nil, fmt.Errorf("transport: model update payload too short")
+	}
+	return binary.LittleEndian.Uint32(p[0:]),
+		binary.LittleEndian.Uint32(p[4:]),
+		binary.LittleEndian.Uint64(p[8:]),
+		p[16:], nil
+}

@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/tiering"
+)
+
+// ServerConfig configures a FedAT aggregation server.
+type ServerConfig struct {
+	// Addr to listen on, e.g. "127.0.0.1:7070". Use port 0 for an
+	// ephemeral port (Server.Addr reports the bound address).
+	Addr string
+	// NumClients registrations to wait for before training starts.
+	NumClients int
+	// NumTiers for the latency partition.
+	NumTiers int
+	// Rounds is the global update budget T.
+	Rounds int
+	// ClientsPerRound per tier round.
+	ClientsPerRound int
+	// Weighted selects Eq. 5 aggregation (true) or uniform.
+	Weighted bool
+	// Codec compresses pushes; defaults to polyline precision 4, the
+	// paper's configuration.
+	Codec codec.Codec
+	// Shapes describe the model's parameter blocks.
+	Shapes []codec.ShapeInfo
+	// W0 is the initial global model.
+	W0 []float64
+	// Seed drives client selection.
+	Seed uint64
+	// Logf receives progress lines; nil silences logging.
+	Logf func(format string, args ...any)
+}
+
+// Server drives FedAT over live TCP connections.
+type Server struct {
+	cfg      ServerConfig
+	ln       net.Listener
+	agg      *core.Aggregator
+	stopping atomic.Bool
+
+	mu      sync.Mutex
+	clients map[uint32]*clientConn
+}
+
+type clientConn struct {
+	reg  Register
+	conn net.Conn
+}
+
+// NewServer binds the listener; call Run to serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.NumClients <= 0 || cfg.Rounds <= 0 || cfg.NumTiers <= 0 {
+		return nil, fmt.Errorf("transport: NumClients, Rounds and NumTiers must be positive")
+	}
+	if cfg.NumTiers > cfg.NumClients {
+		return nil, fmt.Errorf("transport: more tiers than clients")
+	}
+	if len(cfg.W0) == 0 {
+		return nil, fmt.Errorf("transport: empty initial model")
+	}
+	if cfg.ClientsPerRound <= 0 {
+		cfg.ClientsPerRound = 10
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = codec.NewPolyline(4)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	agg, err := core.NewAggregator(cfg.NumTiers, cfg.W0, cfg.Weighted)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return &Server{cfg: cfg, ln: ln, agg: agg, clients: map[uint32]*clientConn{}}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Aggregator exposes the server state (for tests and status endpoints).
+func (s *Server) Aggregator() *core.Aggregator { return s.agg }
+
+// Run accepts registrations, partitions clients into tiers, then runs one
+// synchronous round loop per tier concurrently until the global budget is
+// spent. It returns the final global model.
+func (s *Server) Run() ([]float64, error) {
+	defer s.ln.Close()
+	if err := s.acceptClients(); err != nil {
+		return nil, err
+	}
+	tiers := s.partition()
+	s.cfg.Logf("fedat server: %d clients in %d tiers, starting %d rounds", len(s.clients), len(tiers.Members), s.cfg.Rounds)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(tiers.Members))
+	root := rng.New(s.cfg.Seed)
+	for m := range tiers.Members {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			errs[m] = s.tierLoop(m, tiers.Members[m], root.SplitLabeled(uint64(m)))
+		}(m)
+	}
+	wg.Wait()
+	s.shutdownClients()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.agg.Global(), nil
+}
+
+func (s *Server) acceptClients() error {
+	for {
+		s.mu.Lock()
+		n := len(s.clients)
+		s.mu.Unlock()
+		if n >= s.cfg.NumClients {
+			return nil
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil || typ != MsgRegister {
+			conn.Close()
+			continue
+		}
+		reg, err := ParseRegister(payload)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		if _, dup := s.clients[reg.ClientID]; dup {
+			s.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("transport: duplicate client id %d", reg.ClientID)
+		}
+		s.clients[reg.ClientID] = &clientConn{reg: reg, conn: conn}
+		s.mu.Unlock()
+		s.cfg.Logf("fedat server: client %d registered (%d samples, %dms hint)", reg.ClientID, reg.NumSamples, reg.LatencyHintMs)
+	}
+}
+
+// partition tiers the registered clients by their latency hints, the
+// transport-mode stand-in for the tiering module's profiling round.
+func (s *Server) partition() *tiering.Tiers {
+	ids := make([]uint32, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	// Deterministic order: sort by id.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	lat := make([]float64, len(ids))
+	for i, id := range ids {
+		lat[i] = float64(s.clients[id].reg.LatencyHintMs)
+	}
+	tiers, err := tiering.Partition(lat, s.cfg.NumTiers)
+	if err != nil {
+		// NumTiers <= NumClients is validated up front; Partition cannot
+		// fail here.
+		panic(err)
+	}
+	// Map positional indices back to client ids.
+	for m := range tiers.Members {
+		for j, pos := range tiers.Members[m] {
+			tiers.Members[m][j] = int(ids[pos])
+		}
+	}
+	return tiers
+}
+
+func (s *Server) tierLoop(m int, members []int, selRNG *rng.RNG) error {
+	for !s.stopping.Load() && s.agg.Rounds() < s.cfg.Rounds {
+		k := s.cfg.ClientsPerRound
+		if k > len(members) {
+			k = len(members)
+		}
+		if k == 0 {
+			return nil
+		}
+		sel := selRNG.Choose(len(members), k)
+		global := s.agg.Global()
+		msg, err := codec.MarshalModel(s.cfg.Codec, s.cfg.Shapes, global)
+		if err != nil {
+			return err
+		}
+		round := uint64(s.agg.Rounds())
+		// Push to every selected client first so they train concurrently,
+		// then collect; the synchronous barrier is the collect loop.
+		pushed := make([]*clientConn, 0, k)
+		for _, pos := range sel {
+			cc := s.client(uint32(members[pos]))
+			if cc == nil {
+				continue
+			}
+			if err := WriteFrame(cc.conn, MsgModelPush, ModelPush(round, msg)); err != nil {
+				s.dropClient(cc, err)
+				continue
+			}
+			pushed = append(pushed, cc)
+		}
+		updates := make([]core.ClientUpdate, 0, len(pushed))
+		for _, cc := range pushed {
+			typ, payload, err := ReadFrame(cc.conn)
+			if err != nil || typ != MsgModelUpdate {
+				s.dropClient(cc, err)
+				continue
+			}
+			_, numSamples, _, model, err := ParseModelUpdate(payload)
+			if err != nil {
+				s.dropClient(cc, err)
+				continue
+			}
+			_, w, err := codec.UnmarshalModel(model)
+			if err != nil || numSamples == 0 {
+				s.dropClient(cc, err)
+				continue
+			}
+			updates = append(updates, core.ClientUpdate{Weights: w, N: int(numSamples)})
+		}
+		if len(updates) == 0 {
+			continue
+		}
+		if _, err := s.agg.UpdateTier(m, updates); err != nil {
+			return err
+		}
+		s.cfg.Logf("fedat server: tier %d finished round (global t=%d)", m, s.agg.Rounds())
+	}
+	return nil
+}
+
+func (s *Server) client(id uint32) *clientConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clients[id]
+}
+
+func (s *Server) dropClient(cc *clientConn, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.clients[cc.reg.ClientID]; !ok {
+		return
+	}
+	delete(s.clients, cc.reg.ClientID)
+	cc.conn.Close()
+	if err != nil {
+		s.cfg.Logf("fedat server: dropping client %d: %v", cc.reg.ClientID, err)
+	}
+}
+
+func (s *Server) shutdownClients() {
+	s.stopping.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cc := range s.clients {
+		if err := WriteFrame(cc.conn, MsgShutdown, nil); err != nil {
+			log.Printf("transport: shutdown to client %d: %v", cc.reg.ClientID, err)
+		}
+		cc.conn.Close()
+	}
+}

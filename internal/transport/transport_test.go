@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello fedat")
+	if err := WriteFrame(&buf, MsgModelPush, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgModelPush || string(got) != string(payload) {
+		t.Fatalf("frame corrupted: %d %q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgShutdown, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgShutdown || len(got) != 0 {
+		t.Fatalf("empty frame: %v %d %v", err, typ, got)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, MsgRegister, []byte{1, 2, 3})
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	r := Register{ClientID: 7, NumSamples: 123, LatencyHintMs: 4500}
+	got, err := ParseRegister(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("register corrupted: %+v", got)
+	}
+	if _, err := ParseRegister([]byte{1, 2}); err == nil {
+		t.Fatal("short register accepted")
+	}
+}
+
+func TestModelMessagesRoundTrip(t *testing.T) {
+	model := []byte("model-bytes")
+	round, m, err := ParseModelPush(ModelPush(42, model))
+	if err != nil || round != 42 || string(m) != string(model) {
+		t.Fatalf("push corrupted: %v %d %q", err, round, m)
+	}
+	cid, n, rd, m2, err := ParseModelUpdate(ModelUpdate(3, 99, 42, model))
+	if err != nil || cid != 3 || n != 99 || rd != 42 || string(m2) != string(model) {
+		t.Fatalf("update corrupted: %v %d %d %d %q", err, cid, n, rd, m2)
+	}
+	if _, _, err := ParseModelPush([]byte{1}); err == nil {
+		t.Fatal("short push accepted")
+	}
+	if _, _, _, _, err := ParseModelUpdate([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short update accepted")
+	}
+}
+
+// TestEndToEnd runs a real FedAT deployment over localhost TCP: one server,
+// six clients in two latency tiers, six global rounds. It validates that
+// the networked system and the in-memory core agree on the protocol: all
+// rounds complete, every tier contributes, and the model actually moves.
+func TestEndToEnd(t *testing.T) {
+	fed, err := dataset.FashionLike(6, 0, dataset.ScaleSmall, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(seed uint64) *nn.Network {
+		return nn.NewMLP(rng.New(seed), fed.InDim, 8, fed.Classes)
+	}
+	ref := factory(1)
+	shapes := make([]codec.ShapeInfo, 0)
+	for _, s := range ref.ParamShapes() {
+		shapes = append(shapes, codec.ShapeInfo{Name: s.Name, Dims: s.Dims})
+	}
+
+	srv, err := NewServer(ServerConfig{
+		Addr:            "127.0.0.1:0",
+		NumClients:      6,
+		NumTiers:        2,
+		Rounds:          6,
+		ClientsPerRound: 3,
+		Weighted:        true,
+		Codec:           codec.NewPolyline(4),
+		Shapes:          shapes,
+		W0:              ref.WeightsCopy(),
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hint := uint32(10)
+			if i >= 3 {
+				hint = 500 // slow tier
+			}
+			clientErrs[i] = RunClient(ClientConfig{
+				Addr:          srv.Addr(),
+				ID:            uint32(i),
+				LatencyHintMs: hint,
+				Data:          fed.Clients[i],
+				Net:           factory(1),
+				Opt:           opt.NewAdam(0.01),
+				Epochs:        1,
+				BatchSize:     8,
+				Lambda:        0.4,
+				Seed:          9,
+			})
+		}(i)
+	}
+
+	done := make(chan struct{})
+	var final []float64
+	var srvErr error
+	go func() {
+		final, srvErr = srv.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not finish in time")
+	}
+	wg.Wait()
+
+	if srvErr != nil {
+		t.Fatalf("server error: %v", srvErr)
+	}
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d error: %v", i, err)
+		}
+	}
+	if got := srv.Aggregator().Rounds(); got < 6 {
+		t.Fatalf("only %d global rounds completed", got)
+	}
+	counts := srv.Aggregator().TierCounts()
+	for m, c := range counts {
+		if c == 0 {
+			t.Fatalf("tier %d never contributed: %v", m, counts)
+		}
+	}
+	moved := false
+	w0 := ref.WeightsCopy()
+	for i := range final {
+		if final[i] != w0[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("global model never moved")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{NumClients: 0, Rounds: 1, NumTiers: 1, W0: []float64{1}}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if _, err := NewServer(ServerConfig{NumClients: 2, Rounds: 1, NumTiers: 5, W0: []float64{1}, Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("more tiers than clients accepted")
+	}
+	if _, err := NewServer(ServerConfig{NumClients: 2, Rounds: 1, NumTiers: 1, Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if err := RunClient(ClientConfig{}); err == nil {
+		t.Fatal("empty client config accepted")
+	}
+}
