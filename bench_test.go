@@ -67,6 +67,25 @@ func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "fig9") }
 // BenchmarkFigure10 regenerates paper Figure 10 (tier-size distributions).
 func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
 
+// BenchmarkSchedulerWorkers measures the experiment scheduler's parallel
+// dispatch: the same Figure 6 cell batch with one worker vs GOMAXPROCS
+// workers. Reports are byte-identical either way (see
+// internal/experiments/scheduler_test.go); only wall-clock changes.
+func BenchmarkSchedulerWorkers(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		experiments.SetWorkers(workers)
+		defer experiments.SetWorkers(0)
+		for i := 0; i < b.N; i++ {
+			experiments.ClearCache()
+			if _, err := experiments.RunByID("fig6", experiments.Tiny); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
 // ---------------------------------------------------------------------------
 // Ablation benches for the design choices DESIGN.md calls out.
 

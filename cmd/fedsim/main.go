@@ -5,10 +5,16 @@
 //
 //	fedsim -list
 //	fedsim -exp table1 -preset medium
-//	fedsim -exp all -preset small
+//	fedsim -exp all -preset small -workers 8
 //
 // Reports print to stdout; see EXPERIMENTS.md for the paper-vs-measured
 // comparison of each artifact.
+//
+// With -exp all the experiments themselves run concurrently: the scheduler
+// in internal/experiments deduplicates the simulation cells they share, so
+// each underlying (preset, dataset, method, variant) run is simulated once
+// no matter how many reports consume it. Reports still print in experiment
+// id order and are byte-identical to a serial -workers 1 run.
 package main
 
 import (
@@ -19,14 +25,16 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id (table1, table2, fig2..fig10, ablation-*, or 'all')")
-		preset = flag.String("preset", "small", "scale preset: tiny, small, medium, paper")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csvDir = flag.String("csv", "", "directory to write per-run CSV series into (optional)")
+		expID   = flag.String("exp", "", "experiment id (table1, table2, fig2..fig10, ablation-*, or 'all')")
+		preset  = flag.String("preset", "small", "scale preset: tiny, small, medium, paper")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csvDir  = flag.String("csv", "", "directory to write per-run CSV series into (optional)")
+		workers = flag.Int("workers", 0, "global cap on concurrently executing simulations (0 = GOMAXPROCS); with -exp all, also caps concurrent experiments")
 	)
 	flag.Parse()
 
@@ -47,26 +55,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
 		os.Exit(2)
 	}
+	experiments.SetWorkers(*workers)
 
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
+
+	// Independent experiments run concurrently over a bounded pool; shared
+	// cells dedupe inside the scheduler. Reports stream out in id order as
+	// soon as each is ready.
+	type result struct {
+		rep *experiments.Report
+		err error
+		dur time.Duration
+	}
+	results := make([]result, len(ids))
+	done := make([]chan struct{}, len(ids))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	expWorkers := *workers
+	if expWorkers <= 0 {
+		expWorkers = parallel.Workers(len(ids))
+	}
+	go parallel.Dynamic(len(ids), expWorkers, func(i int) {
+		defer close(done[i])
 		start := time.Now()
-		rep, err := experiments.RunByID(id, p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fedsim: %s failed: %v\n", id, err)
+		rep, err := experiments.RunByID(ids[i], p)
+		results[i] = result{rep: rep, err: err, dur: time.Since(start)}
+	})
+
+	wallStart := time.Now()
+	for i, id := range ids {
+		<-done[i]
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "fedsim: %s failed: %v\n", id, r.err)
 			os.Exit(1)
 		}
-		fmt.Print(rep.String())
-		fmt.Printf("(%s completed in %s at preset %s)\n\n", id, time.Since(start).Round(time.Millisecond), p.Name)
+		fmt.Print(r.rep.String())
+		fmt.Printf("(%s completed in %s at preset %s)\n\n", id, r.dur.Round(time.Millisecond), p.Name)
 		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, id, rep); err != nil {
+			if err := writeCSVs(*csvDir, id, r.rep); err != nil {
 				fmt.Fprintln(os.Stderr, "fedsim:", err)
 				os.Exit(1)
 			}
 		}
+	}
+	if len(ids) > 1 {
+		fmt.Printf("(%d experiments, %d simulation cells, wall %s)\n",
+			len(ids), experiments.SimulationCount(), time.Since(wallStart).Round(time.Millisecond))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fl"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // Figure6 reproduces the weighted-vs-uniform aggregation comparison: FedAT
@@ -12,19 +13,28 @@ import (
 // 2-class datasets.
 func Figure6(p Preset) (*Report, error) {
 	rep := &Report{ID: "fig6", Title: "Weighted vs uniform cross-tier aggregation (paper Figure 6)"}
+	// Both aggregation variants across all three datasets, each cell
+	// defined once and collected back via cellRun.
+	weighted := make([]cell, len(figure2Specs))
+	uniform := make([]cell, len(figure2Specs))
+	for i, spec := range figure2Specs {
+		weighted[i] = cell{p: p, d: spec, method: "fedat"}
+		uniform[i] = cell{p: p, d: spec, method: "fedat", variant: "agg=uniform",
+			mutate: func(cfg *fl.RunConfig) { cfg.UniformAgg = true }}
+	}
+	if err := scheduleCells(append(append([]cell{}, weighted...), uniform...)); err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("dataset", "Weighted (Eq. 5)", "Uniform", "delta")
-	for _, spec := range figure2Specs {
-		weighted, err := cachedRunMethods(p, spec, []string{"fedat"}, "", nil)
+	for i, spec := range figure2Specs {
+		w, err := cellRun(weighted[i])
 		if err != nil {
 			return nil, err
 		}
-		uniform, err := cachedRunMethods(p, spec, []string{"fedat"}, "agg=uniform", func(cfg *fl.RunConfig) {
-			cfg.UniformAgg = true
-		})
+		u, err := cellRun(uniform[i])
 		if err != nil {
 			return nil, err
 		}
-		w, u := weighted["fedat"], uniform["fedat"]
 		rep.Keep(spec.label()+"/weighted", w)
 		rep.Keep(spec.label()+"/uniform", u)
 		tb.AddRow(spec.label(), fmtAcc(w.BestAcc()), fmtAcc(u.BestAcc()), pct(w.BestAcc()-u.BestAcc()))
@@ -48,6 +58,24 @@ func Figure9(p Preset) (*Report, error) {
 		{name: "cifar10", classesPerClient: 2},
 		{name: "sent140", classesPerClient: 2},
 	}
+	// cellFor is the single definition of a participation cell; the batch
+	// and the collection below both go through it.
+	cellFor := func(spec dsSpec, k int, m string) cell {
+		return cell{p: p, d: spec, method: m,
+			variant: fmt.Sprintf("participation=%d", k),
+			mutate:  func(cfg *fl.RunConfig) { cfg.ClientsPerRound = k }}
+	}
+	var cells []cell
+	for _, spec := range specs {
+		for _, k := range figure9Participation {
+			for _, m := range figure9Methods {
+				cells = append(cells, cellFor(spec, k, m))
+			}
+		}
+	}
+	if err := scheduleCells(cells); err != nil {
+		return nil, err
+	}
 	for _, spec := range specs {
 		header := []string{"method"}
 		for _, k := range figure9Participation {
@@ -59,17 +87,13 @@ func Figure9(p Preset) (*Report, error) {
 			rows[m] = []string{methodLabel(m)}
 		}
 		for _, k := range figure9Participation {
-			k := k
-			runs, err := cachedRunMethods(p, spec, figure9Methods,
-				fmt.Sprintf("participation=%d", k), func(cfg *fl.RunConfig) {
-					cfg.ClientsPerRound = k
-				})
-			if err != nil {
-				return nil, err
-			}
 			for _, m := range figure9Methods {
-				rep.Keep(fmt.Sprintf("%s/%s/k=%d", spec.label(), m, k), runs[m])
-				rows[m] = append(rows[m], fmtAcc(runs[m].BestAcc()))
+				run, err := cellRun(cellFor(spec, k, m))
+				if err != nil {
+					return nil, err
+				}
+				rep.Keep(fmt.Sprintf("%s/%s/k=%d", spec.label(), m, k), run)
+				rows[m] = append(rows[m], fmtAcc(run.BestAcc()))
 			}
 		}
 		for _, m := range figure9Methods {
@@ -110,14 +134,29 @@ func Figure10(p Preset) (*Report, error) {
 	tb := metrics.NewTable("distribution", "part sizes", "best acc", "final time")
 	tl := map[string]*metrics.Run{}
 	var order []string
-	for _, cfgEntry := range figure10Configs {
-		sizes := fracSizes(n, cfgEntry.frac)
-		env, err := buildEnvParts(p, spec, sizes, nil)
-		if err != nil {
-			return nil, err
+	// The four distributions are independent simulations on disjoint Envs;
+	// run them concurrently and render from the index-ordered results.
+	allSizes := make([][]int, len(figure10Configs))
+	runs := make([]*metrics.Run, len(figure10Configs))
+	errs := make([]error, len(figure10Configs))
+	parallel.Dynamic(len(figure10Configs), schedulerWorkers(len(figure10Configs)), func(i int) {
+		allSizes[i] = fracSizes(n, figure10Configs[i].frac)
+		runs[i], errs[i] = simulateDirect(func() (*metrics.Run, error) {
+			env, err := buildEnvParts(p, spec, allSizes[i], nil)
+			if err != nil {
+				return nil, err
+			}
+			return fl.FedAT(env), nil
+		})
+		if errs[i] == nil {
+			runs[i].Method = figure10Configs[i].label
 		}
-		run := fl.FedAT(env)
-		run.Method = cfgEntry.label
+	})
+	for i, cfgEntry := range figure10Configs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		run := runs[i]
 		rep.Keep(cfgEntry.label, run)
 		tl[cfgEntry.label] = run
 		order = append(order, cfgEntry.label)
@@ -125,7 +164,7 @@ func Figure10(p Preset) (*Report, error) {
 		if len(run.Points) > 0 {
 			finalTime = run.Points[len(run.Points)-1].Time
 		}
-		tb.AddRow(cfgEntry.label, fmt.Sprint(sizes), fmtAcc(run.BestAcc()), fmtTime(finalTime))
+		tb.AddRow(cfgEntry.label, fmt.Sprint(allSizes[i]), fmtAcc(run.BestAcc()), fmtTime(finalTime))
 	}
 	rep.AddSection("FedAT on femnist across tier-size distributions", tb)
 	rep.AddSection("Smoothed accuracy over time", timelineTable(tl, order, p.SmoothWindow, 6))

@@ -209,45 +209,59 @@ func buildEnvParts(p Preset, d dsSpec, partSizes []int, mutate func(*fl.RunConfi
 	return fl.NewEnv(fed, cluster, modelFactory(p, fed), cfg)
 }
 
-// runMethods executes the named methods on fresh environments (identical
-// dataset, cluster and seed) and returns the run records keyed by method.
-// Every method shares the same time budget; round caps and evaluation
-// cadence scale with the method's update granularity so evaluation counts
-// stay comparable.
+// simulateCell executes one scheduler cell on a fresh environment
+// (identical dataset, cluster and seed for every cell sharing a preset and
+// spec). Every method shares the same time budget; round caps and
+// evaluation cadence scale with the method's update granularity so
+// evaluation counts stay comparable.
+func simulateCell(c cell) (*metrics.Run, error) {
+	acquireSlot() // the global -workers budget, shared by every batch
+	defer releaseSlot()
+	runner, err := fl.Lookup(c.method)
+	if err != nil {
+		return nil, err
+	}
+	env, err := buildEnv(c.p, c.d, func(cfg *fl.RunConfig) {
+		if c.method == "fedat" {
+			// §6: FedAT uses polyline precision 4 throughout the
+			// evaluation; baselines transmit raw models. Experiment
+			// variants (Figure 5) may override via mutate.
+			cfg.Codec = codec.NewPolyline(4)
+		}
+		if c.mutate != nil {
+			c.mutate(cfg)
+		}
+		base := cfg.Rounds
+		cfg.Rounds = methodRoundCap(c.method, base)
+		// Evaluation cadence grows with the round cap, but only half
+		// as fast: cheap-update methods produce updates faster in
+		// TIME too, so halving keeps the wall-clock eval density of
+		// their timelines comparable to the synchronous baselines'.
+		mult := cfg.Rounds / base
+		cfg.EvalEvery = cfg.EvalEvery * (1 + mult) / 2
+		if cfg.EvalEvery < 1 {
+			cfg.EvalEvery = 1
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	simulations.Add(1)
+	return runner(env), nil
+}
+
+// runMethods executes the named methods serially, bypassing the run cache
+// (diagnostic probes use it for honest standalone runs). It still draws
+// from the global -workers gate and counts toward SimulationCount, like
+// every other simulation in the process.
 func runMethods(p Preset, d dsSpec, names []string, mutate func(*fl.RunConfig)) (map[string]*metrics.Run, error) {
 	out := make(map[string]*metrics.Run, len(names))
 	for _, name := range names {
-		runner, err := fl.Lookup(name)
+		run, err := simulateCell(cell{p: p, d: d, method: name, mutate: mutate})
 		if err != nil {
 			return nil, err
 		}
-		name := name
-		env, err := buildEnv(p, d, func(cfg *fl.RunConfig) {
-			if name == "fedat" {
-				// §6: FedAT uses polyline precision 4 throughout the
-				// evaluation; baselines transmit raw models. Experiment
-				// variants (Figure 5) may override via mutate.
-				cfg.Codec = codec.NewPolyline(4)
-			}
-			if mutate != nil {
-				mutate(cfg)
-			}
-			base := cfg.Rounds
-			cfg.Rounds = methodRoundCap(name, base)
-			// Evaluation cadence grows with the round cap, but only half
-			// as fast: cheap-update methods produce updates faster in
-			// TIME too, so halving keeps the wall-clock eval density of
-			// their timelines comparable to the synchronous baselines'.
-			mult := cfg.Rounds / base
-			cfg.EvalEvery = cfg.EvalEvery * (1 + mult) / 2
-			if cfg.EvalEvery < 1 {
-				cfg.EvalEvery = 1
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		out[name] = runner(env)
+		out[name] = run
 	}
 	return out, nil
 }

@@ -13,6 +13,9 @@ import (
 // bytes each method had consumed.
 func Figure4(p Preset) (*Report, error) {
 	rep := &Report{ID: "fig4", Title: "Accuracy vs cumulative uploaded bytes (paper Figure 4)"}
+	if err := prefetch(p, figure2Specs, table1Methods, "", nil); err != nil {
+		return nil, err
+	}
 	for _, spec := range figure2Specs {
 		runs, err := cachedRunMethods(p, spec, table1Methods, "", nil)
 		if err != nil {
@@ -48,6 +51,9 @@ func Figure4(p Preset) (*Report, error) {
 // to achieve the target accuracy" (up+down, in MB).
 func Table2(p Preset) (*Report, error) {
 	rep := &Report{ID: "table2", Title: "Data transferred to reach target accuracy (paper Table 2)"}
+	if err := prefetch(p, figure2Specs, table1Methods, "", nil); err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("method", "cifar10(#2)", "fashion(#2)", "sent140(#2)")
 	rows := map[string][]string{}
 	order := []string{"fedavg", "tifl", "fedprox", "fedasync", "fedat"}
@@ -98,17 +104,26 @@ func Figure5(p Preset) (*Report, error) {
 	rep := &Report{ID: "fig5", Title: "Compression precision tradeoff (paper Figure 5)"}
 	spec := dsSpec{name: "cifar10", classesPerClient: 2}
 
+	// One batch across all codec variants, so the sweep runs concurrently.
+	// Each cell is defined once here and collected back via cellRun.
+	cells := make([]cell, len(figure5Codecs))
+	for i, entry := range figure5Codecs {
+		entry := entry
+		cells[i] = cell{p: p, d: spec, method: "fedat",
+			variant: "codec=" + entry.label,
+			mutate:  func(cfg *fl.RunConfig) { cfg.Codec = entry.c }}
+	}
+	if err := scheduleCells(cells); err != nil {
+		return nil, err
+	}
+
 	var rawPerUpdate float64
 	runsByLabel := map[string]*metrics.Run{}
-	for _, entry := range figure5Codecs {
-		entry := entry
-		runs, err := cachedRunMethods(p, spec, []string{"fedat"}, "codec="+entry.label, func(cfg *fl.RunConfig) {
-			cfg.Codec = entry.c
-		})
+	for i, entry := range figure5Codecs {
+		run, err := cellRun(cells[i])
 		if err != nil {
 			return nil, err
 		}
-		run := runs["fedat"]
 		rep.Keep(entry.label, run)
 		runsByLabel[entry.label] = run
 		if entry.label == "No Compression" {

@@ -21,6 +21,9 @@ var figure2Specs = []dsSpec{
 // probes the same region of the curve.
 func Figure2(p Preset) (*Report, error) {
 	rep := &Report{ID: "fig2", Title: "Convergence timelines and time-to-target accuracy (paper Figure 2)"}
+	if err := prefetch(p, figure2Specs, table1Methods, "", nil); err != nil {
+		return nil, err
+	}
 	for _, spec := range figure2Specs {
 		runs, err := cachedRunMethods(p, spec, table1Methods, "", nil)
 		if err != nil {
@@ -66,6 +69,9 @@ var figure3Specs = []dsSpec{
 // Figure3 reproduces the convergence comparison across non-IID levels.
 func Figure3(p Preset) (*Report, error) {
 	rep := &Report{ID: "fig3", Title: "Convergence vs non-IID level on CIFAR-10 (paper Figure 3)"}
+	if err := prefetch(p, figure3Specs, table1Methods, "", nil); err != nil {
+		return nil, err
+	}
 	finals := metrics.NewTable(append([]string{"method"}, specLabels(figure3Specs)...)...)
 	rows := map[string][]string{}
 	for _, m := range table1Methods {

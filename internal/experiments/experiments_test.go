@@ -38,6 +38,9 @@ func TestPresetByName(t *testing.T) {
 }
 
 func TestTable1Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Table1(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +65,9 @@ func TestTable1Tiny(t *testing.T) {
 }
 
 func TestFigure2And4AndTable2ShareRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	// These three analyze the same training runs; the cache must make the
 	// later ones cheap and identical.
 	rep2, err := Figure2(Tiny)
@@ -89,6 +95,9 @@ func TestFigure2And4AndTable2ShareRuns(t *testing.T) {
 }
 
 func TestFigure3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure3(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +108,9 @@ func TestFigure3Tiny(t *testing.T) {
 }
 
 func TestFigure5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure5(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -124,6 +136,9 @@ func TestFigure5Tiny(t *testing.T) {
 }
 
 func TestFigure6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure6(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +152,9 @@ func TestFigure6Tiny(t *testing.T) {
 }
 
 func TestFigure7Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure7(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +168,9 @@ func TestFigure7Tiny(t *testing.T) {
 }
 
 func TestFigure8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure8(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +188,9 @@ func TestFigure8Tiny(t *testing.T) {
 }
 
 func TestFigure9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure9(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +204,9 @@ func TestFigure9Tiny(t *testing.T) {
 }
 
 func TestFigure10Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := Figure10(Tiny)
 	if err != nil {
 		t.Fatal(err)

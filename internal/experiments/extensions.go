@@ -22,6 +22,22 @@ func AblationMisTier(p Preset) (*Report, error) {
 	rep := &Report{ID: "ablation-mistier", Title: "Mis-tiering tolerance (extension of §2.1's claim)"}
 	spec := dsSpec{name: "cifar10", classesPerClient: 2}
 	fracs := []float64{0, 0.2, 0.4}
+	// cellFor is the single definition of a mis-tiering cell, used by both
+	// the batch and the collection below.
+	cellFor := func(m string, f float64) cell {
+		return cell{p: p, d: spec, method: m,
+			variant: fmt.Sprintf("mistier=%.2f", f),
+			mutate:  func(cfg *fl.RunConfig) { cfg.MisTierFrac = f }}
+	}
+	var cells []cell
+	for _, m := range []string{"fedat", "tifl"} {
+		for _, f := range fracs {
+			cells = append(cells, cellFor(m, f))
+		}
+	}
+	if err := scheduleCells(cells); err != nil {
+		return nil, err
+	}
 	header := []string{"method"}
 	for _, f := range fracs {
 		header = append(header, fmt.Sprintf("%.0f%% mis-tiered acc", 100*f),
@@ -29,25 +45,20 @@ func AblationMisTier(p Preset) (*Report, error) {
 	}
 	tb := metrics.NewTable(header...)
 	for _, m := range []string{"fedat", "tifl"} {
-		cells := []string{methodLabel(m)}
+		row := []string{methodLabel(m)}
 		for _, f := range fracs {
-			f := f
-			runs, err := cachedRunMethods(p, spec, []string{m},
-				fmt.Sprintf("mistier=%.2f", f), func(cfg *fl.RunConfig) {
-					cfg.MisTierFrac = f
-				})
+			run, err := cellRun(cellFor(m, f))
 			if err != nil {
 				return nil, err
 			}
-			run := runs[m]
 			rep.Keep(fmt.Sprintf("%s/%.0f%%", m, 100*f), run)
 			perUpdate := 0.0
 			if run.GlobalRounds > 0 && len(run.Points) > 0 {
 				perUpdate = run.Points[len(run.Points)-1].Time / float64(run.GlobalRounds)
 			}
-			cells = append(cells, fmtAcc(run.BestAcc()), fmt.Sprintf("%.1fs", perUpdate))
+			row = append(row, fmtAcc(run.BestAcc()), fmt.Sprintf("%.1fs", perUpdate))
 		}
-		tb.AddRow(cells...)
+		tb.AddRow(row...)
 	}
 	rep.AddSection("Best accuracy and seconds per global update vs mis-profiled fraction", tb)
 	rep.AddText("Expected shape: FedAT's accuracy and update rate degrade mildly (a mis-placed slow " +
@@ -62,17 +73,25 @@ func AblationMisTier(p Preset) (*Report, error) {
 func AblationStaleness(p Preset) (*Report, error) {
 	rep := &Report{ID: "ablation-staleness", Title: "FedAsync staleness-discount sweep (design-choice ablation)"}
 	spec := dsSpec{name: "cifar10", classesPerClient: 2}
+	exps := []float64{0.01, 0.25, 0.5, 1.0}
+	cellFor := func(a float64) cell {
+		return cell{p: p, d: spec, method: "fedasync",
+			variant: fmt.Sprintf("staleexp=%.2f", a),
+			mutate:  func(cfg *fl.RunConfig) { cfg.AsyncStaleExp = a }}
+	}
+	cells := make([]cell, len(exps))
+	for i, a := range exps {
+		cells[i] = cellFor(a)
+	}
+	if err := scheduleCells(cells); err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("staleness exponent a", "best acc", "final acc", "acc variance")
-	for _, a := range []float64{0.01, 0.25, 0.5, 1.0} {
-		a := a
-		runs, err := cachedRunMethods(p, spec, []string{"fedasync"},
-			fmt.Sprintf("staleexp=%.2f", a), func(cfg *fl.RunConfig) {
-				cfg.AsyncStaleExp = a
-			})
+	for _, a := range exps {
+		run, err := cellRun(cellFor(a))
 		if err != nil {
 			return nil, err
 		}
-		run := runs["fedasync"]
 		rep.Keep(fmt.Sprintf("a=%.2f", a), run)
 		tb.AddRow(fmt.Sprintf("%.2f", a), fmtAcc(run.BestAcc()), fmtAcc(run.FinalAcc()),
 			fmt.Sprintf("%.2e", run.MeanVariance()))
@@ -89,17 +108,25 @@ func AblationStaleness(p Preset) (*Report, error) {
 func AblationLambda(p Preset) (*Report, error) {
 	rep := &Report{ID: "ablation-lambda", Title: "Proximal coefficient sweep (Eq. 3 design choice)"}
 	spec := dsSpec{name: "cifar10", classesPerClient: 2}
+	lambdas := []float64{0, 0.1, 0.4, 1.0, 4.0}
+	cellFor := func(l float64) cell {
+		return cell{p: p, d: spec, method: "fedat",
+			variant: fmt.Sprintf("lambda=%.2f", l),
+			mutate:  func(cfg *fl.RunConfig) { cfg.Lambda = l }}
+	}
+	cells := make([]cell, len(lambdas))
+	for i, l := range lambdas {
+		cells[i] = cellFor(l)
+	}
+	if err := scheduleCells(cells); err != nil {
+		return nil, err
+	}
 	tb := metrics.NewTable("lambda", "best acc", "acc variance")
-	for _, l := range []float64{0, 0.1, 0.4, 1.0, 4.0} {
-		l := l
-		runs, err := cachedRunMethods(p, spec, []string{"fedat"},
-			fmt.Sprintf("lambda=%.2f", l), func(cfg *fl.RunConfig) {
-				cfg.Lambda = l
-			})
+	for _, l := range lambdas {
+		run, err := cellRun(cellFor(l))
 		if err != nil {
 			return nil, err
 		}
-		run := runs["fedat"]
 		rep.Keep(fmt.Sprintf("lambda=%.2f", l), run)
 		tb.AddRow(fmt.Sprintf("%.2f", l), fmtAcc(run.BestAcc()), fmt.Sprintf("%.2e", run.MeanVariance()))
 	}

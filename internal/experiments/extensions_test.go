@@ -6,6 +6,9 @@ import (
 )
 
 func TestAblationMisTierTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := AblationMisTier(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -22,6 +25,9 @@ func TestAblationMisTierTiny(t *testing.T) {
 }
 
 func TestAblationStalenessTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := AblationStaleness(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +46,9 @@ func TestAblationStalenessTiny(t *testing.T) {
 }
 
 func TestAblationLambdaTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := AblationLambda(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +62,9 @@ func TestAblationLambdaTiny(t *testing.T) {
 }
 
 func TestAblationOverSelectTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := AblationOverSelect(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +75,9 @@ func TestAblationOverSelectTiny(t *testing.T) {
 }
 
 func TestTheoryValidationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
 	rep, err := TheoryValidation(Tiny)
 	if err != nil {
 		t.Fatal(err)

@@ -11,7 +11,9 @@ import (
 var figure7Methods = []string{"fedat", "tifl", "fedavg", "fedprox", "fedasync", "asofed"}
 
 // Figure7 reproduces the large-scale FEMNIST experiment: accuracy over time
-// and accuracy over uploaded bytes with the large client population.
+// and accuracy over uploaded bytes with the large client population. The
+// single cachedRunMethods call schedules all six methods' cells over the
+// parallel worker pool at once.
 func Figure7(p Preset) (*Report, error) {
 	rep := &Report{ID: "fig7", Title: "Large-scale FEMNIST: accuracy over time and bytes (paper Figure 7)"}
 	spec := dsSpec{name: "femnist", large: true}

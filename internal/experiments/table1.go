@@ -28,6 +28,11 @@ var table1Specs = []dsSpec{
 // FedAT's improvement over the best and worst baselines.
 func Table1(p Preset) (*Report, error) {
 	rep := &Report{ID: "table1", Title: "Prediction performance and accuracy variance (paper Table 1)"}
+	// Schedule the whole method × dataset grid at once; the per-spec loop
+	// below then collects from the cache.
+	if err := prefetch(p, table1Specs, table1Methods, "", nil); err != nil {
+		return nil, err
+	}
 
 	accT := metrics.NewTable(append([]string{"method"}, specLabels(table1Specs)...)...)
 	varT := metrics.NewTable(append([]string{"method"}, specLabels(table1Specs)...)...)

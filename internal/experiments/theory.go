@@ -22,8 +22,15 @@ import (
 func TheoryValidation(p Preset) (*Report, error) {
 	rep := &Report{ID: "theory", Title: "Empirical check of the §5 convergence analysis"}
 
-	// Convex case: logistic regression (Theorem 5.1).
+	// Both theorem checks' cells in one batch (convex sent140, non-convex
+	// cifar10), shared with Table 1 / Figure 2 when those already ran.
 	spec := dsSpec{name: "sent140", classesPerClient: 2}
+	specNC := dsSpec{name: "cifar10", classesPerClient: 2}
+	if err := prefetch(p, []dsSpec{spec, specNC}, []string{"fedat"}, "", nil); err != nil {
+		return nil, err
+	}
+
+	// Convex case: logistic regression (Theorem 5.1).
 	runs, err := cachedRunMethods(p, spec, []string{"fedat"}, "", nil)
 	if err != nil {
 		return nil, err
@@ -60,7 +67,6 @@ func TheoryValidation(p Preset) (*Report, error) {
 		firstHalf, secondHalf, verdict))
 
 	// Non-convex case (Theorem 5.2): the loss trend on the image model.
-	specNC := dsSpec{name: "cifar10", classesPerClient: 2}
 	runsNC, err := cachedRunMethods(p, specNC, []string{"fedat"}, "", nil)
 	if err != nil {
 		return nil, err

@@ -1,10 +1,9 @@
 package fl
 
 import (
-	"sync"
-
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -64,18 +63,19 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 		downDone[i] = e.Cluster.DownloadArrival(start, e.Clients[id].Runtime, bytes)
 	}
 
+	// Per-client local training is the eligible parallel section: client i
+	// only touches its own model replica, optimizer and RNG stream (the
+	// determinism contract documented in internal/parallel), and writes its
+	// result at index i. Dynamic dispatch, because non-IID clients have
+	// wildly different local data sizes — static chunks would serialize
+	// the expensive clients on one worker. Selection, timing and link
+	// reservations stay sequential around it.
 	results := make([]trainResult, len(sel))
-	var wg sync.WaitGroup
-	wg.Add(len(sel))
-	for i, id := range sel {
-		go func(i, id int) {
-			defer wg.Done()
-			c := e.Clients[id]
-			w, steps := c.TrainLocal(received[i], lc)
-			results[i] = trainResult{client: c, weights: w, n: c.Data.NumTrain(), steps: steps}
-		}(i, id)
-	}
-	wg.Wait()
+	parallel.Dynamic(len(sel), parallel.Workers(len(sel)), func(i int) {
+		c := e.Clients[sel[i]]
+		w, steps := c.TrainLocal(received[i], lc)
+		results[i] = trainResult{client: c, weights: w, n: c.Data.NumTrain(), steps: steps}
+	})
 
 	// Sequential post-pass: delays, drops and uplink in selection order.
 	for i := range results {

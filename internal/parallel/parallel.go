@@ -1,15 +1,22 @@
 // Package parallel provides the small set of fork-join helpers used by the
-// tensor kernels, the client trainers and the evaluation harness.
+// tensor kernels, the client trainers, the evaluation harness and the
+// experiment scheduler.
 //
 // All helpers are deterministic with respect to the result: workers write to
 // disjoint index ranges, so the outcome never depends on scheduling. That
 // property is what lets the experiment harness train many federated clients
-// concurrently while staying bit-reproducible.
+// concurrently while staying bit-reproducible. Callers uphold their half of
+// the contract by giving each index its own state — in this repo every
+// federated client owns a private model replica, optimizer and labeled RNG
+// stream (see fl.Client), and every experiment scheduler cell builds a
+// fresh Env — so body(i) and body(j) never race and results are identical
+// to a serial loop. DESIGN.md §2 documents the full determinism contract.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers caps worker counts; GOMAXPROCS already reflects the machine,
@@ -71,6 +78,45 @@ func ForWorkers(n, workers int, body func(i int)) {
 				body(i)
 			}
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Dynamic runs body(i) for every i in [0, n) over workers goroutines with
+// dynamic (atomic next-index) dispatch. ForWorkers' contiguous chunking is
+// a cache optimization for tiny dense-kernel bodies; when per-item cost
+// varies wildly — the experiment scheduler's heterogeneous simulation
+// cells, whole experiments — static chunks let one unlucky worker
+// serialize the expensive items while the rest idle. Dynamic keeps every
+// worker busy until the batch drains. The determinism contract is the same
+// as For's: body must only touch state owned by index i.
+func Dynamic(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

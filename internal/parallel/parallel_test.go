@@ -31,6 +31,20 @@ func TestForWorkersSerialEqualsParallel(t *testing.T) {
 	}
 }
 
+func TestDynamicCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{1, 3, 8, 2000} {
+			seen := make([]int32, n)
+			Dynamic(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
 func TestForChunkedCoverage(t *testing.T) {
 	f := func(nRaw uint16) bool {
 		n := int(nRaw % 2048)
