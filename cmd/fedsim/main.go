@@ -6,9 +6,16 @@
 //	fedsim -list
 //	fedsim -exp table1 -preset medium
 //	fedsim -exp all -preset small -workers 8
+//	fedsim -exp table1 -preset tiny -format json          # machine-readable
+//	fedsim -exp all -preset small -format csv -out runs/  # one CSV per table/series/run
 //
-// Reports print to stdout; see EXPERIMENTS.md for the paper-vs-measured
-// comparison of each artifact.
+// The default text format prints to stdout; see EXPERIMENTS.md for the
+// paper-vs-measured comparison of each artifact. -format json emits one
+// JSON envelope (schema internal/report) with every report's typed
+// artifacts, the kept runs expanded into accuracy/loss/bytes series, and
+// the scheduler's per-cell timing and cache-hit metadata; -format csv
+// writes one file per table, series and run into -out. -out also works
+// with text and json to write files instead of stdout.
 //
 // With -exp all the experiments themselves run concurrently: the scheduler
 // in internal/experiments deduplicates the simulation cells they share, so
@@ -26,6 +33,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/report"
 )
 
 func main() {
@@ -33,7 +41,8 @@ func main() {
 		expID   = flag.String("exp", "", "experiment id (table1, table2, fig2..fig10, ablation-*, or 'all')")
 		preset  = flag.String("preset", "small", "scale preset: tiny, small, medium, paper")
 		list    = flag.Bool("list", false, "list experiments and exit")
-		csvDir  = flag.String("csv", "", "directory to write per-run CSV series into (optional)")
+		format  = flag.String("format", "text", "output format: text, json, or csv")
+		outDir  = flag.String("out", "", "directory to write output files into (required for csv; optional for text/json, which default to stdout)")
 		workers = flag.Int("workers", 0, "global cap on concurrently executing simulations (0 = GOMAXPROCS); with -exp all, also caps concurrent experiments")
 	)
 	flag.Parse()
@@ -44,10 +53,21 @@ func main() {
 			fmt.Printf("  %-8s %s\n", id, experiments.Registry[id].Title)
 		}
 		fmt.Println("presets: tiny, small, medium, paper")
+		fmt.Println("formats: text, json, csv")
 		return
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "fedsim: -exp required (use -list to see experiments)")
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "fedsim: unknown -format %q (have text, json, csv)\n", *format)
+		os.Exit(2)
+	}
+	if *format == "csv" && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "fedsim: -format csv requires -out <dir>")
 		os.Exit(2)
 	}
 	p, err := experiments.PresetByName(*preset)
@@ -63,8 +83,8 @@ func main() {
 	}
 
 	// Independent experiments run concurrently over a bounded pool; shared
-	// cells dedupe inside the scheduler. Reports stream out in id order as
-	// soon as each is ready.
+	// cells dedupe inside the scheduler. Results become available in id
+	// order as soon as each is ready.
 	type result struct {
 		rep *experiments.Report
 		err error
@@ -83,10 +103,21 @@ func main() {
 		defer close(done[i])
 		start := time.Now()
 		rep, err := experiments.RunByID(ids[i], p)
+		if err == nil {
+			rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		}
 		results[i] = result{rep: rep, err: err, dur: time.Since(start)}
 	})
 
+	// Progress framing goes to stdout only in text mode; json/csv keep
+	// stdout clean for the machine-readable payload.
+	progress := os.Stdout
+	if *format != "text" {
+		progress = os.Stderr
+	}
+
 	wallStart := time.Now()
+	reports := make([]*experiments.Report, 0, len(ids))
 	for i, id := range ids {
 		<-done[i]
 		r := results[i]
@@ -94,50 +125,69 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fedsim: %s failed: %v\n", id, r.err)
 			os.Exit(1)
 		}
-		fmt.Print(r.rep.String())
-		fmt.Printf("(%s completed in %s at preset %s)\n\n", id, r.dur.Round(time.Millisecond), p.Name)
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, id, r.rep); err != nil {
-				fmt.Fprintln(os.Stderr, "fedsim:", err)
-				os.Exit(1)
+		reports = append(reports, r.rep)
+		switch *format {
+		case "text":
+			if *outDir == "" {
+				fmt.Print(r.rep.String())
+			} else if err := writeTextFile(*outDir, r.rep); err != nil {
+				fatal(err)
 			}
+		case "csv":
+			files, err := report.WriteCSVDir(*outDir, r.rep)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(progress, "fedsim: %s: wrote %d CSV files to %s\n", id, len(files), *outDir)
+		}
+		fmt.Fprintf(progress, "(%s completed in %s at preset %s)\n\n", id, r.dur.Round(time.Millisecond), p.Name)
+	}
+
+	if *format == "json" {
+		env := &report.Envelope{
+			Preset:    p.Name,
+			Seed:      p.Seed,
+			Reports:   reports,
+			Scheduler: experiments.SchedulerMeta(),
+		}
+		if *outDir == "" {
+			if err := report.WriteJSON(os.Stdout, env); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*outDir, "report.json"))
+			if err != nil {
+				fatal(err)
+			}
+			err = report.WriteJSON(f, env)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(progress, "fedsim: wrote %s\n", filepath.Join(*outDir, "report.json"))
 		}
 	}
 	if len(ids) > 1 {
-		fmt.Printf("(%d experiments, %d simulation cells, wall %s)\n",
-			len(ids), experiments.SimulationCount(), time.Since(wallStart).Round(time.Millisecond))
+		fmt.Fprintf(progress, "(%d experiments, %d simulation cells, %d cell requests served from cache, wall %s)\n",
+			len(ids), experiments.SimulationCount(), experiments.CacheHitCount(),
+			time.Since(wallStart).Round(time.Millisecond))
 	}
 }
 
-// writeCSVs dumps every kept run's evaluation series for plotting.
-func writeCSVs(dir, expID string, rep *experiments.Report) error {
+// writeTextFile renders one report into <out>/<id>.txt.
+func writeTextFile(dir string, rep *experiments.Report) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for key, run := range rep.Runs {
-		name := fmt.Sprintf("%s__%s.csv", expID, sanitize(key))
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		err = run.WriteCSV(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return os.WriteFile(filepath.Join(dir, rep.ID+".txt"), []byte(rep.String()), 0o644)
 }
 
-func sanitize(s string) string {
-	out := []byte(s)
-	for i, c := range out {
-		switch c {
-		case '/', ' ', '(', ')', '#', '%', '=':
-			out[i] = '_'
-		}
-	}
-	return string(out)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsim:", err)
+	os.Exit(1)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/report"
 )
 
 // Figure6 reproduces the weighted-vs-uniform aggregation comparison: FedAT
@@ -25,7 +26,8 @@ func Figure6(p Preset) (*Report, error) {
 	if err := scheduleCells(append(append([]cell{}, weighted...), uniform...)); err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("dataset", "Weighted (Eq. 5)", "Uniform", "delta")
+	tb := report.NewTable("Best accuracy with and without the weighted aggregation heuristic",
+		"dataset", "Weighted (Eq. 5)", "Uniform", "delta")
 	for i, spec := range figure2Specs {
 		w, err := cellRun(weighted[i])
 		if err != nil {
@@ -37,10 +39,11 @@ func Figure6(p Preset) (*Report, error) {
 		}
 		rep.Keep(spec.label()+"/weighted", w)
 		rep.Keep(spec.label()+"/uniform", u)
-		tb.AddRow(spec.label(), fmtAcc(w.BestAcc()), fmtAcc(u.BestAcc()), pct(w.BestAcc()-u.BestAcc()))
+		tb.AddRow(report.Str(spec.label()), accCell(w.BestAcc()), accCell(u.BestAcc()),
+			pctCell(w.BestAcc()-u.BestAcc()))
 	}
-	rep.AddSection("Best accuracy with and without the weighted aggregation heuristic", tb)
-	rep.AddText("Paper shape: weighting improves best accuracy by 1.39–4.05% across the three datasets.")
+	rep.AddTable(tb)
+	rep.AddNote("Paper shape: weighting improves best accuracy by 1.39–4.05% across the three datasets.")
 	return rep, nil
 }
 
@@ -81,10 +84,10 @@ func Figure9(p Preset) (*Report, error) {
 		for _, k := range figure9Participation {
 			header = append(header, fmt.Sprintf("%d clients", k))
 		}
-		tb := metrics.NewTable(header...)
-		rows := map[string][]string{}
+		tb := report.NewTable(spec.label()+": best accuracy vs clients per round", header...)
+		rows := map[string][]report.Cell{}
 		for _, m := range figure9Methods {
-			rows[m] = []string{methodLabel(m)}
+			rows[m] = []report.Cell{report.Str(methodLabel(m))}
 		}
 		for _, k := range figure9Participation {
 			for _, m := range figure9Methods {
@@ -93,15 +96,15 @@ func Figure9(p Preset) (*Report, error) {
 					return nil, err
 				}
 				rep.Keep(fmt.Sprintf("%s/%s/k=%d", spec.label(), m, k), run)
-				rows[m] = append(rows[m], fmtAcc(run.BestAcc()))
+				rows[m] = append(rows[m], accCell(run.BestAcc()))
 			}
 		}
 		for _, m := range figure9Methods {
 			tb.AddRow(rows[m]...)
 		}
-		rep.AddSection(spec.label()+": best accuracy vs clients per round", tb)
+		rep.AddTable(tb)
 	}
-	rep.AddText("Paper shape: fewer participants hurts every method, but FedAT degrades the least — " +
+	rep.AddNote("Paper shape: fewer participants hurts every method, but FedAT degrades the least — " +
 		"at 2/100 clients it stays ~14-17% above the synchronous baselines on CIFAR-10, because the " +
 		"asynchronous cross-tier stream keeps more of the population contributing.")
 	return rep, nil
@@ -131,7 +134,8 @@ func Figure10(p Preset) (*Report, error) {
 	}
 	n := len(fed.Clients)
 
-	tb := metrics.NewTable("distribution", "part sizes", "best acc", "final time")
+	tb := report.NewTable("FedAT on femnist across tier-size distributions",
+		"distribution", "part sizes", "best acc", "final time")
 	tl := map[string]*metrics.Run{}
 	var order []string
 	// The four distributions are independent simulations on disjoint Envs;
@@ -164,11 +168,13 @@ func Figure10(p Preset) (*Report, error) {
 		if len(run.Points) > 0 {
 			finalTime = run.Points[len(run.Points)-1].Time
 		}
-		tb.AddRow(cfgEntry.label, fmt.Sprint(allSizes[i]), fmtAcc(run.BestAcc()), fmtTime(finalTime))
+		tb.AddRow(report.Str(cfgEntry.label), report.Str(fmt.Sprint(allSizes[i])),
+			accCell(run.BestAcc()), timeCell(finalTime))
 	}
-	rep.AddSection("FedAT on femnist across tier-size distributions", tb)
-	rep.AddSection("Smoothed accuracy over time", timelineTable(tl, order, p.SmoothWindow, 6))
-	rep.AddText("Paper shape: all four distributions converge to close accuracy; Slow/Medium " +
+	rep.AddTable(tb)
+	rep.AddTable(timelineTable("Smoothed accuracy over time", tl, order, p.SmoothWindow, 6))
+	timelineSeries(rep, "", tl, order, p.SmoothWindow)
+	rep.AddNote("Paper shape: all four distributions converge to close accuracy; Slow/Medium " +
 		"converge slightly faster than Fast (fast-heavy tiers hold less total data per round of work).")
 	return rep, nil
 }

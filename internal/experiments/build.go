@@ -2,58 +2,22 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/simnet"
 )
 
-// Report is the output of one experiment.
-type Report struct {
-	ID    string
-	Title string
-	// Sections are rendered in order; each is typically one table plus a
-	// caption.
-	Sections []string
-	// Runs keeps the raw run records for programmatic consumers (plots,
-	// EXPERIMENTS.md generation, assertions in tests).
-	Runs map[string]*metrics.Run
-}
-
-// AddSection appends a rendered block.
-func (r *Report) AddSection(caption string, body fmt.Stringer) {
-	r.Sections = append(r.Sections, fmt.Sprintf("## %s\n\n%s", caption, body))
-}
-
-// AddText appends a free-form block.
-func (r *Report) AddText(text string) { r.Sections = append(r.Sections, text) }
-
-// Keep stores a run under a key.
-func (r *Report) Keep(key string, run *metrics.Run) {
-	if r.Runs == nil {
-		r.Runs = map[string]*metrics.Run{}
-	}
-	r.Runs[key] = run
-}
-
-// String renders the report.
-func (r *Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "# %s — %s\n\n", r.ID, r.Title)
-	for _, s := range r.Sections {
-		b.WriteString(s)
-		if !strings.HasSuffix(s, "\n") {
-			b.WriteByte('\n')
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+// Report is the output of one experiment: the typed artifact model of
+// internal/report (tables, series, scalars, notes) plus the kept raw run
+// records. Experiments build artifacts; the report package's renderers
+// turn them into text, JSON or CSV.
+type Report = report.Report
 
 // dsSpec names a dataset configuration used by an experiment.
 type dsSpec struct {
@@ -269,33 +233,59 @@ func runMethods(p Preset, d dsSpec, names []string, mutate func(*fl.RunConfig)) 
 // fmtAcc renders an accuracy like the paper's tables.
 func fmtAcc(a float64) string { return fmt.Sprintf("%.3f", a) }
 
+// accCell is fmtAcc as a typed cell: exact text plus the raw value.
+func accCell(a float64) report.Cell { return report.Num(a, fmtAcc(a)) }
+
 // fmtTime renders seconds.
 func fmtTime(t float64) string { return fmt.Sprintf("%.1fs", t) }
 
+// timeCell is fmtTime as a typed cell.
+func timeCell(t float64) report.Cell { return report.Num(t, fmtTime(t)) }
+
 // timelineTable renders a smoothed accuracy-vs-time series for several
 // runs, sampled at a fixed number of rows — the textual form of the paper's
-// timeline figures.
-func timelineTable(runs map[string]*metrics.Run, order []string, window, rows int) *metrics.Table {
-	tb := metrics.NewTable(append([]string{"method"}, timelineHeader(rows)...)...)
+// timeline figures. Each sampled cell carries the accuracy as its typed
+// value; the full-resolution curves ride along as series artifacts (see
+// timelineSeries).
+func timelineTable(caption string, runs map[string]*metrics.Run, order []string, window, rows int) *report.Table {
+	tb := report.NewTable(caption, append([]string{"method"}, timelineHeader(rows)...)...)
 	for _, name := range order {
 		run, ok := runs[name]
 		if !ok {
 			continue
 		}
 		sm := run.Smooth(window)
-		cells := []string{run.Method}
+		cells := []report.Cell{report.Str(run.Method)}
 		for i := 0; i < rows; i++ {
 			idx := i * (len(sm) - 1) / max(1, rows-1)
 			if len(sm) == 0 {
-				cells = append(cells, "-")
+				cells = append(cells, report.Str("-"))
 				continue
 			}
 			p := sm[idx]
-			cells = append(cells, fmt.Sprintf("%.3f@%.0fs", p.Acc, p.Time))
+			cells = append(cells, report.Num(p.Acc, fmt.Sprintf("%.3f@%.0fs", p.Acc, p.Time)))
 		}
 		tb.AddRow(cells...)
 	}
 	return tb
+}
+
+// timelineSeries attaches the full-resolution smoothed accuracy curves
+// behind a timeline table to the report as data-only series artifacts, so
+// machine consumers get the paper figures' actual curves rather than the
+// six sampled columns.
+func timelineSeries(rep *Report, prefix string, runs map[string]*metrics.Run, order []string, window int) {
+	for _, name := range order {
+		run, ok := runs[name]
+		if !ok {
+			continue
+		}
+		key := name
+		if prefix != "" {
+			key = prefix + "/" + name
+		}
+		rep.AddSeries(report.SmoothedAccSeries(key, run, window))
+	}
 }
 
 func timelineHeader(rows int) []string {

@@ -4,14 +4,16 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fl"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/util"
 )
 
 // Runs are deterministic given (preset, dataset spec, method, config
@@ -51,11 +53,16 @@ type cell struct {
 func (c cell) key() string { return cacheKey(c.p, c.d, c.method, c.variant) }
 
 // cellState is the singleflight slot for one cell. done is closed exactly
-// once, after run/err are set, by the goroutine that claimed the cell.
+// once, after run/err/simMS are set, by the goroutine that claimed the
+// cell. hits counts how many later requests this slot absorbed (served
+// from the cached or in-flight result instead of re-simulating); it feeds
+// the JSON report's scheduler metadata.
 type cellState struct {
-	done chan struct{}
-	run  *metrics.Run
-	err  error
+	done  chan struct{}
+	run   *metrics.Run
+	err   error
+	simMS float64
+	hits  atomic.Int64
 }
 
 var runCache = struct {
@@ -72,6 +79,45 @@ var simulations atomic.Int64
 // SimulationCount reports how many simulations have executed since the
 // last ClearCache.
 func SimulationCount() int64 { return simulations.Load() }
+
+// cacheHits counts cell REQUESTS served from an existing (cached or
+// in-flight) cell instead of triggering a fresh simulation. This is a
+// request-level metric, not a cross-experiment dedup count: an experiment
+// that prefetches its grid and then collects per spec re-requests its own
+// cells, and those re-requests count too. It answers "how much re-request
+// traffic did the cache absorb", and is an upper bound on sharing between
+// experiments.
+var cacheHits atomic.Int64
+
+// CacheHitCount reports how many cell requests the cache absorbed since
+// the last ClearCache (see cacheHits for what counts as a hit).
+func CacheHitCount() int64 { return cacheHits.Load() }
+
+// SchedulerMeta snapshots the scheduler's account of the process so far:
+// total simulations, cache hits, and the per-cell record (key, simulation
+// wall-clock, hit count) in key order. Cells still in flight are skipped —
+// their timing is not yet known. Figure 10's direct simulations count in
+// Simulations but have no cell entry (they bypass the cache by design).
+func SchedulerMeta() *report.SchedulerMeta {
+	meta := &report.SchedulerMeta{
+		Simulations: simulations.Load(),
+		CacheHits:   cacheHits.Load(),
+		Cells:       []report.CellMeta{},
+	}
+	runCache.Lock()
+	defer runCache.Unlock()
+	for _, k := range util.SortedKeys(runCache.m) {
+		st := runCache.m[k]
+		select {
+		case <-st.done:
+			meta.Cells = append(meta.Cells, report.CellMeta{
+				Key: k, SimMS: st.simMS, Hits: st.hits.Load(),
+			})
+		default: // still simulating; no timing to report yet
+		}
+	}
+	return meta
+}
 
 // workerOverride is the scheduler's worker cap; 0 means GOMAXPROCS.
 var workerOverride atomic.Int32
@@ -159,27 +205,29 @@ func simulateDirect(run func() (*metrics.Run, error)) (*metrics.Run, error) {
 func scheduleCells(cells []cell) error {
 	// Plan: claim missing cells under one critical section. Deduplicate
 	// within the batch too — experiments may request overlapping cells.
+	// Requests absorbed by an existing slot (cached or in flight) count as
+	// cache hits for the scheduler metadata.
 	type claimedCell struct {
 		c  cell
 		st *cellState
 	}
 	waiters := make([]*cellState, 0, len(cells))
-	var owned []claimedCell
-	claimed := map[string]bool{}
+	owned := map[string]claimedCell{}
 	runCache.Lock()
 	for _, c := range cells {
 		k := c.key()
 		if st, ok := runCache.m[k]; ok {
+			st.hits.Add(1)
+			cacheHits.Add(1)
 			waiters = append(waiters, st)
 			continue
 		}
-		if claimed[k] {
+		if _, ok := owned[k]; ok {
 			continue // duplicate within this batch; first claim covers it
 		}
-		claimed[k] = true
 		st := &cellState{done: make(chan struct{})}
 		runCache.m[k] = st
-		owned = append(owned, claimedCell{c: c, st: st})
+		owned[k] = claimedCell{c: c, st: st}
 		waiters = append(waiters, st)
 	}
 	runCache.Unlock()
@@ -190,10 +238,13 @@ func scheduleCells(cells []cell) error {
 	// (a large-scale reddit cell is orders slower than a sent140 one), so
 	// chunking would let one worker serialize the expensive cells while
 	// the others idle.
-	sort.Slice(owned, func(i, j int) bool { return owned[i].c.key() < owned[j].c.key() })
-	parallel.Dynamic(len(owned), schedulerWorkers(len(owned)), func(i int) {
-		st := owned[i].st
-		st.run, st.err = simulateCell(owned[i].c)
+	keys := util.SortedKeys(owned)
+	parallel.Dynamic(len(keys), schedulerWorkers(len(keys)), func(i int) {
+		oc := owned[keys[i]]
+		st := oc.st
+		start := time.Now()
+		st.run, st.err = simulateCell(oc.c)
+		st.simMS = float64(time.Since(start)) / float64(time.Millisecond)
 		close(st.done)
 	})
 
@@ -210,9 +261,9 @@ func scheduleCells(cells []cell) error {
 	}
 	if firstErr != nil {
 		runCache.Lock()
-		for _, oc := range owned {
-			if oc.st.err != nil && runCache.m[oc.c.key()] == oc.st {
-				delete(runCache.m, oc.c.key())
+		for k, oc := range owned {
+			if oc.st.err != nil && runCache.m[k] == oc.st {
+				delete(runCache.m, k)
 			}
 		}
 		runCache.Unlock()
@@ -281,12 +332,14 @@ func cacheKey(p Preset, d dsSpec, method, variant string) string {
 	return strings.Join([]string{p.Name, d.label(), fmt.Sprint(d.large), method, variant}, "|")
 }
 
-// ClearCache drops memoized runs and resets the simulation counter (tests
-// and benchmarks use it to force fresh runs). In-flight cells keep running
-// and publish to their waiters, but later requests will re-simulate.
+// ClearCache drops memoized runs and resets the simulation and cache-hit
+// counters (tests and benchmarks use it to force fresh runs). In-flight
+// cells keep running and publish to their waiters, but later requests will
+// re-simulate.
 func ClearCache() {
 	runCache.Lock()
 	runCache.m = map[string]*cellState{}
 	runCache.Unlock()
 	simulations.Store(0)
+	cacheHits.Store(0)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/fl"
 	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 // Figure4 reproduces "test accuracy as a function of cumulative uploaded
@@ -23,26 +24,26 @@ func Figure4(p Preset) (*Report, error) {
 		}
 		best := runs["fedat"].BestAcc()
 		milestones := []float64{0.5 * best, 0.75 * best, 0.9 * best}
-		tb := metrics.NewTable("method",
+		tb := report.NewTable(spec.label(), "method",
 			fmt.Sprintf("up-bytes@%.3f", milestones[0]),
 			fmt.Sprintf("up-bytes@%.3f", milestones[1]),
 			fmt.Sprintf("up-bytes@%.3f", milestones[2]))
 		for _, m := range table1Methods {
 			run := runs[m]
 			rep.Keep(spec.label()+"/"+m, run)
-			cells := []string{methodLabel(m)}
+			cells := []report.Cell{report.Str(methodLabel(m))}
 			for _, target := range milestones {
 				if b, ok := run.UploadBytesToAccuracy(target); ok {
-					cells = append(cells, metrics.FormatBytes(b))
+					cells = append(cells, bytesCell(b))
 				} else {
-					cells = append(cells, "not reached")
+					cells = append(cells, report.Str("not reached"))
 				}
 			}
 			tb.AddRow(cells...)
 		}
-		rep.AddSection(spec.label(), tb)
+		rep.AddTable(tb)
 	}
-	rep.AddText("Paper shape: FedAT needs the fewest uploaded bytes at every accuracy level " +
+	rep.AddNote("Paper shape: FedAT needs the fewest uploaded bytes at every accuracy level " +
 		"(up to 1.28x less than the best synchronous baseline); FedAsync consumes orders of magnitude more.")
 	return rep, nil
 }
@@ -54,11 +55,12 @@ func Table2(p Preset) (*Report, error) {
 	if err := prefetch(p, figure2Specs, table1Methods, "", nil); err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("method", "cifar10(#2)", "fashion(#2)", "sent140(#2)")
-	rows := map[string][]string{}
+	tb := report.NewTable("Bytes (up+down) to reach 90% of FedAT's best accuracy",
+		"method", "cifar10(#2)", "fashion(#2)", "sent140(#2)")
+	rows := map[string][]report.Cell{}
 	order := []string{"fedavg", "tifl", "fedprox", "fedasync", "fedat"}
 	for _, m := range order {
-		rows[m] = []string{methodLabel(m)}
+		rows[m] = []report.Cell{report.Str(methodLabel(m))}
 	}
 	for _, spec := range figure2Specs {
 		runs, err := cachedRunMethods(p, spec, table1Methods, "", nil)
@@ -70,17 +72,17 @@ func Table2(p Preset) (*Report, error) {
 			run := runs[m]
 			rep.Keep(spec.label()+"/"+m, run)
 			if b, ok := run.BytesToAccuracy(target); ok {
-				rows[m] = append(rows[m], metrics.FormatBytes(b))
+				rows[m] = append(rows[m], bytesCell(b))
 			} else {
-				rows[m] = append(rows[m], "-") // the paper's dash: never reached
+				rows[m] = append(rows[m], report.Str("-")) // the paper's dash: never reached
 			}
 		}
 	}
 	for _, m := range order {
 		tb.AddRow(rows[m]...)
 	}
-	rep.AddSection("Bytes (up+down) to reach 90% of FedAT's best accuracy", tb)
-	rep.AddText("Paper shape: FedAT cheapest on every dataset; FedAsync costs ~9.5x FedAT on " +
+	rep.AddTable(tb)
+	rep.AddNote("Paper shape: FedAT cheapest on every dataset; FedAsync costs ~9.5x FedAT on " +
 		"Fashion-MNIST and misses the CIFAR-10 target entirely.")
 	return rep, nil
 }
@@ -130,18 +132,25 @@ func Figure5(p Preset) (*Report, error) {
 			rawPerUpdate = float64(run.UpBytes) / float64(maxI(run.GlobalRounds, 1))
 		}
 	}
-	tb := metrics.NewTable("codec", "best acc", "total up-bytes", "compression ratio vs raw")
+	tb := report.NewTable("FedAT on cifar10(#2) across compressor precisions",
+		"codec", "best acc", "total up-bytes", "compression ratio vs raw")
 	for _, entry := range figure5Codecs {
 		run := runsByLabel[entry.label]
 		perUpdate := float64(run.UpBytes) / float64(maxI(run.GlobalRounds, 1))
 		ratio := rawPerUpdate / perUpdate
-		tb.AddRow(entry.label, fmtAcc(run.BestAcc()), metrics.FormatBytes(run.UpBytes), fmt.Sprintf("%.2fx", ratio))
+		tb.AddRow(report.Str(entry.label), accCell(run.BestAcc()), bytesCell(run.UpBytes),
+			report.Numf("%.2fx", ratio))
+		rep.AddScalar("compression_ratio/"+entry.label, ratio, "x")
 	}
-	rep.AddSection("FedAT on cifar10(#2) across compressor precisions", tb)
-	rep.AddText("Paper shape: precision 3 loses accuracy (too lossy); precision 4 matches " +
+	rep.AddTable(tb)
+	rep.AddNote("Paper shape: precision 3 loses accuracy (too lossy); precision 4 matches " +
 		"no-compression accuracy while cutting bytes (the paper reports up to 3.5x and uses precision 4 everywhere).")
 	return rep, nil
 }
+
+// bytesCell renders a byte count the way Table 2 does, keeping the raw
+// count as the typed value.
+func bytesCell(b int64) report.Cell { return report.Num(float64(b), metrics.FormatBytes(b)) }
 
 func maxI(a, b int) int {
 	if a > b {

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 // figure2Specs are the three datasets whose convergence timelines Figure 2
@@ -32,28 +32,31 @@ func Figure2(p Preset) (*Report, error) {
 		for m, run := range runs {
 			rep.Keep(spec.label()+"/"+m, run)
 		}
-		rep.AddSection(
+		rep.AddTable(timelineTable(
 			fmt.Sprintf("%s: smoothed test accuracy over virtual time", spec.label()),
-			timelineTable(runs, table1Methods, p.SmoothWindow, 6))
+			runs, table1Methods, p.SmoothWindow, 6))
+		timelineSeries(rep, spec.label(), runs, table1Methods, p.SmoothWindow)
 
 		target := 0.9 * runs["fedat"].BestAcc()
-		bar := metrics.NewTable("method", fmt.Sprintf("time to %.3f acc", target), "vs FedAT")
+		rep.AddScalar(spec.label()+"/target_acc", target, "fraction")
+		bar := report.NewTable(fmt.Sprintf("%s: time to target accuracy", spec.label()),
+			"method", fmt.Sprintf("time to %.3f acc", target), "vs FedAT")
 		fedatTime, _ := runs["fedat"].TimeToAccuracy(target)
 		for _, m := range table1Methods {
 			tt, ok := runs[m].TimeToAccuracy(target)
 			if !ok {
-				bar.AddRow(methodLabel(m), "not reached", "-")
+				bar.AddRow(report.Str(methodLabel(m)), report.Str("not reached"), report.Str("-"))
 				continue
 			}
-			rel := "-"
+			rel := report.Str("-")
 			if fedatTime > 0 {
-				rel = fmt.Sprintf("%.2fx", tt/fedatTime)
+				rel = report.Numf("%.2fx", tt/fedatTime)
 			}
-			bar.AddRow(methodLabel(m), fmtTime(tt), rel)
+			bar.AddRow(report.Str(methodLabel(m)), timeCell(tt), rel)
 		}
-		rep.AddSection(fmt.Sprintf("%s: time to target accuracy", spec.label()), bar)
+		rep.AddTable(bar)
 	}
-	rep.AddText("Paper shape: FedAT reaches the target several times faster than TiFL/FedAvg/FedProx " +
+	rep.AddNote("Paper shape: FedAT reaches the target several times faster than TiFL/FedAvg/FedProx " +
 		"(5.3–5.8x on CIFAR-10); FedAsync fails to reach it on the image datasets.")
 	return rep, nil
 }
@@ -72,10 +75,11 @@ func Figure3(p Preset) (*Report, error) {
 	if err := prefetch(p, figure3Specs, table1Methods, "", nil); err != nil {
 		return nil, err
 	}
-	finals := metrics.NewTable(append([]string{"method"}, specLabels(figure3Specs)...)...)
-	rows := map[string][]string{}
+	finals := report.NewTable("Best accuracy per non-IID level",
+		append([]string{"method"}, specLabels(figure3Specs)...)...)
+	rows := map[string][]report.Cell{}
 	for _, m := range table1Methods {
-		rows[m] = []string{methodLabel(m)}
+		rows[m] = []report.Cell{report.Str(methodLabel(m))}
 	}
 	for _, spec := range figure3Specs {
 		runs, err := cachedRunMethods(p, spec, table1Methods, "", nil)
@@ -84,17 +88,18 @@ func Figure3(p Preset) (*Report, error) {
 		}
 		for m, run := range runs {
 			rep.Keep(spec.label()+"/"+m, run)
-			rows[m] = append(rows[m], fmtAcc(run.BestAcc()))
+			rows[m] = append(rows[m], accCell(run.BestAcc()))
 		}
-		rep.AddSection(
+		rep.AddTable(timelineTable(
 			fmt.Sprintf("%s: smoothed accuracy over time", spec.label()),
-			timelineTable(runs, table1Methods, p.SmoothWindow, 6))
+			runs, table1Methods, p.SmoothWindow, 6))
+		timelineSeries(rep, spec.label(), runs, table1Methods, p.SmoothWindow)
 	}
 	for _, m := range table1Methods {
 		finals.AddRow(rows[m]...)
 	}
-	rep.AddSection("Best accuracy per non-IID level", finals)
-	rep.AddText("Paper shape: every method improves as data becomes more IID; FedAT stays on top at " +
+	rep.AddTable(finals)
+	rep.AddNote("Paper shape: every method improves as data becomes more IID; FedAT stays on top at " +
 		"every level, with the widest margin at the strongest (2-class) skew.")
 	return rep, nil
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fl"
-	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 // The experiments in this file go beyond the paper's figures: they are
@@ -43,9 +43,9 @@ func AblationMisTier(p Preset) (*Report, error) {
 		header = append(header, fmt.Sprintf("%.0f%% mis-tiered acc", 100*f),
 			fmt.Sprintf("%.0f%% sec/update", 100*f))
 	}
-	tb := metrics.NewTable(header...)
+	tb := report.NewTable("Best accuracy and seconds per global update vs mis-profiled fraction", header...)
 	for _, m := range []string{"fedat", "tifl"} {
-		row := []string{methodLabel(m)}
+		row := []report.Cell{report.Str(methodLabel(m))}
 		for _, f := range fracs {
 			run, err := cellRun(cellFor(m, f))
 			if err != nil {
@@ -56,12 +56,12 @@ func AblationMisTier(p Preset) (*Report, error) {
 			if run.GlobalRounds > 0 && len(run.Points) > 0 {
 				perUpdate = run.Points[len(run.Points)-1].Time / float64(run.GlobalRounds)
 			}
-			row = append(row, fmtAcc(run.BestAcc()), fmt.Sprintf("%.1fs", perUpdate))
+			row = append(row, accCell(run.BestAcc()), report.Numf("%.1fs", perUpdate))
 		}
 		tb.AddRow(row...)
 	}
-	rep.AddSection("Best accuracy and seconds per global update vs mis-profiled fraction", tb)
-	rep.AddText("Expected shape: FedAT's accuracy and update rate degrade mildly (a mis-placed slow " +
+	rep.AddTable(tb)
+	rep.AddNote("Expected shape: FedAT's accuracy and update rate degrade mildly (a mis-placed slow " +
 		"client only slows its own tier's loop), while TiFL's fast-tier rounds inherit slow clients " +
 		"and its accuracy-based selection is poisoned.")
 	return rep, nil
@@ -86,18 +86,19 @@ func AblationStaleness(p Preset) (*Report, error) {
 	if err := scheduleCells(cells); err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("staleness exponent a", "best acc", "final acc", "acc variance")
+	tb := report.NewTable("FedAsync on cifar10(#2)",
+		"staleness exponent a", "best acc", "final acc", "acc variance")
 	for _, a := range exps {
 		run, err := cellRun(cellFor(a))
 		if err != nil {
 			return nil, err
 		}
 		rep.Keep(fmt.Sprintf("a=%.2f", a), run)
-		tb.AddRow(fmt.Sprintf("%.2f", a), fmtAcc(run.BestAcc()), fmtAcc(run.FinalAcc()),
-			fmt.Sprintf("%.2e", run.MeanVariance()))
+		tb.AddRow(report.Numf("%.2f", a), accCell(run.BestAcc()), accCell(run.FinalAcc()),
+			report.Numf("%.2e", run.MeanVariance()))
 	}
-	rep.AddSection("FedAsync on cifar10(#2)", tb)
-	rep.AddText("Too little discounting lets 30s-stale single-client updates whipsaw the global model; " +
+	rep.AddTable(tb)
+	rep.AddNote("Too little discounting lets 30s-stale single-client updates whipsaw the global model; " +
 		"too much freezes it. The 0.5 default is the paper-era convention.")
 	return rep, nil
 }
@@ -121,16 +122,16 @@ func AblationLambda(p Preset) (*Report, error) {
 	if err := scheduleCells(cells); err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("lambda", "best acc", "acc variance")
+	tb := report.NewTable("FedAT on cifar10(#2) across λ", "lambda", "best acc", "acc variance")
 	for _, l := range lambdas {
 		run, err := cellRun(cellFor(l))
 		if err != nil {
 			return nil, err
 		}
 		rep.Keep(fmt.Sprintf("lambda=%.2f", l), run)
-		tb.AddRow(fmt.Sprintf("%.2f", l), fmtAcc(run.BestAcc()), fmt.Sprintf("%.2e", run.MeanVariance()))
+		tb.AddRow(report.Numf("%.2f", l), accCell(run.BestAcc()), report.Numf("%.2e", run.MeanVariance()))
 	}
-	rep.AddSection("FedAT on cifar10(#2) across λ", tb)
+	rep.AddTable(tb)
 	return rep, nil
 }
 
@@ -145,7 +146,7 @@ func AblationOverSelect(p Preset) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb := metrics.NewTable("method", "best acc", "sec/update", "up-bytes/update")
+	tb := report.NewTable("cifar10(#2)", "method", "best acc", "sec/update", "up-bytes/update")
 	for _, m := range methods {
 		run := runs[m]
 		rep.Keep(m, run)
@@ -154,11 +155,11 @@ func AblationOverSelect(p Preset) (*Report, error) {
 			perUpdate = run.Points[len(run.Points)-1].Time / float64(run.GlobalRounds)
 			bytesPer = float64(run.UpBytes) / float64(run.GlobalRounds)
 		}
-		tb.AddRow(methodLabel2(m), fmtAcc(run.BestAcc()),
-			fmt.Sprintf("%.1fs", perUpdate), fmt.Sprintf("%.0f B", bytesPer))
+		tb.AddRow(report.Str(methodLabel2(m)), accCell(run.BestAcc()),
+			report.Numf("%.1fs", perUpdate), report.Num(bytesPer, fmt.Sprintf("%.0f B", bytesPer)))
 	}
-	rep.AddSection("cifar10(#2)", tb)
-	rep.AddText("Expected shape: over-selection shortens FedAvg's rounds but uploads ~30% more per " +
+	rep.AddTable(tb)
+	rep.AddNote("Expected shape: over-selection shortens FedAvg's rounds but uploads ~30% more per " +
 		"update and systematically drops the slowest clients' contributions; FedAT gets the speed " +
 		"without discarding work.")
 	return rep, nil

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files from the current renderer:
+//
+//	go test ./internal/experiments -run TestGoldenText -update
+//
+// Only do this for a deliberate output change; the goldens exist to prove
+// the text renderer reproduces the pre-artifact-model reports byte for
+// byte.
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenIDs are the experiments whose tiny-preset text output is pinned:
+// a table-heavy report (table1), a timeline + free-text report (fig2) and
+// a variant sweep (ablation-lambda).
+var goldenIDs = []string{"table1", "fig2", "ablation-lambda"}
+
+func TestGoldenText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration; the -race -short CI pass covers the scheduler tests")
+	}
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := RunByID(id, Tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s text output diverged from golden (len %d vs %d):\n--- got ---\n%s\n--- want ---\n%s",
+					id, len(got), len(want), got, want)
+			}
+		})
+	}
+}

@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 // figure7Methods include ASO-Fed, which the paper only evaluates at large
@@ -24,21 +22,23 @@ func Figure7(p Preset) (*Report, error) {
 	for m, run := range runs {
 		rep.Keep(m, run)
 	}
-	rep.AddSection("Smoothed accuracy over virtual time",
-		timelineTable(runs, figure7Methods, p.SmoothWindow, 6))
+	rep.AddTable(timelineTable("Smoothed accuracy over virtual time",
+		runs, figure7Methods, p.SmoothWindow, 6))
+	timelineSeries(rep, "", runs, figure7Methods, p.SmoothWindow)
 
-	tb := metrics.NewTable("method", "best acc", "total up-bytes", "up-bytes to 90% of FedAT best")
+	tb := report.NewTable("Accuracy vs communication",
+		"method", "best acc", "total up-bytes", "up-bytes to 90% of FedAT best")
 	target := 0.9 * runs["fedat"].BestAcc()
 	for _, m := range figure7Methods {
 		run := runs[m]
-		cell := "not reached"
+		cell := report.Str("not reached")
 		if b, ok := run.UploadBytesToAccuracy(target); ok {
-			cell = metrics.FormatBytes(b)
+			cell = bytesCell(b)
 		}
-		tb.AddRow(methodLabel(m), fmtAcc(run.BestAcc()), metrics.FormatBytes(run.UpBytes), cell)
+		tb.AddRow(report.Str(methodLabel(m)), accCell(run.BestAcc()), bytesCell(run.UpBytes), cell)
 	}
-	rep.AddSection("Accuracy vs communication", tb)
-	rep.AddText("Paper shape: FedAT leads from the early stage and stays >=1.2% above FedProx/TiFL; " +
+	rep.AddTable(tb)
+	rep.AddNote("Paper shape: FedAT leads from the early stage and stays >=1.2% above FedProx/TiFL; " +
 		"FedAsync and ASO-Fed trail in accuracy and spend far more bytes.")
 	return rep, nil
 }
@@ -59,20 +59,22 @@ func Figure8(p Preset) (*Report, error) {
 	for m, run := range runs {
 		rep.Keep(m, run)
 	}
-	rep.AddSection("Smoothed accuracy over virtual time",
-		timelineTable(runs, figure8Methods, p.SmoothWindow, 6))
+	rep.AddTable(timelineTable("Smoothed accuracy over virtual time",
+		runs, figure8Methods, p.SmoothWindow, 6))
+	timelineSeries(rep, "", runs, figure8Methods, p.SmoothWindow)
 
-	loss := metrics.NewTable("method", "first loss", "final loss", "best acc")
+	loss := report.NewTable("Test loss trajectory", "method", "first loss", "final loss", "best acc")
 	for _, m := range figure8Methods {
 		run := runs[m]
 		first := 0.0
 		if len(run.Points) > 0 {
 			first = run.Points[0].Loss
 		}
-		loss.AddRow(methodLabel(m), fmt.Sprintf("%.3f", first), fmt.Sprintf("%.3f", run.FinalLoss()), fmtAcc(run.BestAcc()))
+		loss.AddRow(report.Str(methodLabel(m)), report.Numf("%.3f", first),
+			report.Numf("%.3f", run.FinalLoss()), accCell(run.BestAcc()))
 	}
-	rep.AddSection("Test loss trajectory", loss)
-	rep.AddText("Paper shape: similar learning trends for all three, with FedAT holding the best " +
+	rep.AddTable(loss)
+	rep.AddNote("Paper shape: similar learning trends for all three, with FedAT holding the best " +
 		"accuracy and the lowest loss throughout.")
 	return rep, nil
 }

@@ -2,7 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+
+	"repro/internal/util"
 )
 
 // Experiment is a runnable paper artifact reproduction.
@@ -35,14 +36,7 @@ var Registry = map[string]Experiment{
 }
 
 // IDs returns the experiment ids in a stable order.
-func IDs() []string {
-	ids := make([]string, 0, len(Registry))
-	for id := range Registry {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
-}
+func IDs() []string { return util.SortedKeys(Registry) }
 
 // RunByID executes one experiment.
 func RunByID(id string, p Preset) (*Report, error) {

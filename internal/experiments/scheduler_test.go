@@ -108,6 +108,56 @@ func TestSchedulerErrorNotPoisoned(t *testing.T) {
 	}
 }
 
+// TestSchedulerMeta checks the per-cell metadata the JSON renderer
+// publishes: every simulated cell appears with its key, a hit count that
+// grows as later requests are served from cache, and timing fields.
+func TestSchedulerMeta(t *testing.T) {
+	p := microPreset("sched-meta")
+	hitsBase := CacheHitCount()
+	// Figure 6 schedules its whole batch once and collects via cellRun, so
+	// a fresh run records no hits. Prefetch-then-collect experiments
+	// (Table 1, Figure 2) re-request their own cells and DO count hits on
+	// a fresh run — the metric is request-level by design (see cacheHits).
+	if _, err := Figure6(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := CacheHitCount() - hitsBase; got != 0 {
+		t.Fatalf("fresh Figure6 recorded %d cache hits, want 0", got)
+	}
+	if _, err := Figure6(p); err != nil {
+		t.Fatal(err)
+	}
+	// The re-run requests the same 6 cells; all must be absorbed by the
+	// cache.
+	if got := CacheHitCount() - hitsBase; got != 6 {
+		t.Fatalf("re-run Figure6 recorded %d cache hits, want 6", got)
+	}
+	meta := SchedulerMeta()
+	if meta.Simulations != SimulationCount() || meta.CacheHits != CacheHitCount() {
+		t.Fatalf("meta counters diverge: %+v", meta)
+	}
+	cells := map[string]bool{}
+	totalHits := int64(0)
+	for i, c := range meta.Cells {
+		cells[c.Key] = true
+		totalHits += c.Hits
+		if i > 0 && meta.Cells[i-1].Key >= c.Key {
+			t.Fatalf("cells not in sorted key order: %q then %q", meta.Cells[i-1].Key, c.Key)
+		}
+	}
+	for _, key := range []string{
+		"sched-meta|cifar10(#2)|false|fedat|",
+		"sched-meta|cifar10(#2)|false|fedat|agg=uniform",
+	} {
+		if !cells[key] {
+			t.Fatalf("cell %q missing from scheduler meta (have %v)", key, cells)
+		}
+	}
+	if totalHits < 6 {
+		t.Fatalf("per-cell hits sum to %d, want >= 6", totalHits)
+	}
+}
+
 // TestSchedulerWorkers covers the worker-count plumbing.
 func TestSchedulerWorkers(t *testing.T) {
 	defer SetWorkers(0)

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 // table1Methods are the five methods Table 1 compares (ASO-Fed only appears
@@ -34,15 +34,18 @@ func Table1(p Preset) (*Report, error) {
 		return nil, err
 	}
 
-	accT := metrics.NewTable(append([]string{"method"}, specLabels(table1Specs)...)...)
-	varT := metrics.NewTable(append([]string{"method"}, specLabels(table1Specs)...)...)
-	imprT := metrics.NewTable("dataset", "FedAT acc", "best baseline", "impr.(a)", "worst baseline", "impr.(b)")
+	accT := report.NewTable("Best test accuracy",
+		append([]string{"method"}, specLabels(table1Specs)...)...)
+	varT := report.NewTable("Accuracy variance across clients, normalized to FedAT (FedAT row absolute)",
+		append([]string{"method"}, specLabels(table1Specs)...)...)
+	imprT := report.NewTable("FedAT improvement over best (a) and worst (b) baseline",
+		"dataset", "FedAT acc", "best baseline", "impr.(a)", "worst baseline", "impr.(b)")
 
-	accRows := map[string][]string{}
-	varRows := map[string][]string{}
+	accRows := map[string][]report.Cell{}
+	varRows := map[string][]report.Cell{}
 	for _, m := range table1Methods {
-		accRows[m] = []string{methodLabel(m)}
-		varRows[m] = []string{methodLabel(m)}
+		accRows[m] = []report.Cell{report.Str(methodLabel(m))}
+		varRows[m] = []report.Cell{report.Str(methodLabel(m))}
 	}
 
 	for _, spec := range table1Specs {
@@ -56,13 +59,13 @@ func Table1(p Preset) (*Report, error) {
 		for _, m := range table1Methods {
 			run := runs[m]
 			rep.Keep(spec.label()+"/"+m, run)
-			accRows[m] = append(accRows[m], fmtAcc(run.BestAcc()))
+			accRows[m] = append(accRows[m], accCell(run.BestAcc()))
 			if m == "fedat" {
-				varRows[m] = append(varRows[m], fmt.Sprintf("%.2e (abs)", fedatVar))
+				varRows[m] = append(varRows[m], report.Num(fedatVar, fmt.Sprintf("%.2e (abs)", fedatVar)))
 				continue
 			}
 			norm := run.MeanVariance() / maxF(fedatVar, 1e-12)
-			varRows[m] = append(varRows[m], fmt.Sprintf("%.2f", norm))
+			varRows[m] = append(varRows[m], report.Numf("%.2f", norm))
 			if run.BestAcc() > bestBase {
 				bestBase, bestName = run.BestAcc(), methodLabel(m)
 			}
@@ -71,19 +74,19 @@ func Table1(p Preset) (*Report, error) {
 			}
 		}
 		fa := runs["fedat"].BestAcc()
-		imprT.AddRow(spec.label(), fmtAcc(fa),
-			fmt.Sprintf("%s %s", bestName, fmtAcc(bestBase)), pct(fa-bestBase),
-			fmt.Sprintf("%s %s", worstName, fmtAcc(worstBase)), pct(fa-worstBase))
+		imprT.AddRow(report.Str(spec.label()), accCell(fa),
+			report.Num(bestBase, fmt.Sprintf("%s %s", bestName, fmtAcc(bestBase))), pctCell(fa-bestBase),
+			report.Num(worstBase, fmt.Sprintf("%s %s", worstName, fmtAcc(worstBase))), pctCell(fa-worstBase))
 	}
 	for _, m := range table1Methods {
 		accT.AddRow(accRows[m]...)
 		varT.AddRow(varRows[m]...)
 	}
 
-	rep.AddSection("Best test accuracy", accT)
-	rep.AddSection("Accuracy variance across clients, normalized to FedAT (FedAT row absolute)", varT)
-	rep.AddSection("FedAT improvement over best (a) and worst (b) baseline", imprT)
-	rep.AddText("Paper shape: FedAT highest accuracy everywhere; FedAsync worst on non-IID; " +
+	rep.AddTable(accT)
+	rep.AddTable(varT)
+	rep.AddTable(imprT)
+	rep.AddNote("Paper shape: FedAT highest accuracy everywhere; FedAsync worst on non-IID; " +
 		"variance of baselines 1.2–6.8× FedAT's; accuracy rises and variance falls as the non-IID level decreases.")
 	return rep, nil
 }
@@ -115,6 +118,9 @@ func methodLabel(name string) string {
 }
 
 func pct(delta float64) string { return fmt.Sprintf("%+.2f%%", 100*delta) }
+
+// pctCell is pct as a typed cell carrying the raw (fractional) delta.
+func pctCell(delta float64) report.Cell { return report.Num(delta, pct(delta)) }
 
 func maxF(a, b float64) float64 {
 	if a > b {

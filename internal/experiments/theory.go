@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/metrics"
+	"repro/internal/report"
 )
 
 // TheoryValidation empirically checks the convergence claims of §5 on the
@@ -46,15 +46,20 @@ func TheoryValidation(p Preset) (*Report, error) {
 			fStar = pt.Loss
 		}
 	}
-	tb := metrics.NewTable("global round t", "loss f(w_t)", "gap f(w_t)−f*")
+	tb := report.NewTable("Theorem 5.1 (convex): optimality gap over global updates",
+		"global round t", "loss f(w_t)", "gap f(w_t)−f*")
+	gapSeries := report.Series{Name: "convex/gap_vs_round", X: "round", Y: "gap"}
 	gaps := make([]float64, 0, len(run.Points))
 	for i := 0; i < len(run.Points); i += maxI(1, len(run.Points)/8) {
 		pt := run.Points[i]
 		gap := pt.Loss - fStar
 		gaps = append(gaps, gap)
-		tb.AddRow(fmt.Sprint(pt.Round), fmt.Sprintf("%.4f", pt.Loss), fmt.Sprintf("%.4f", gap))
+		gapSeries.Pts = append(gapSeries.Pts, report.XY{X: float64(pt.Round), Y: gap})
+		tb.AddRow(report.Num(float64(pt.Round), fmt.Sprint(pt.Round)),
+			report.Numf("%.4f", pt.Loss), report.Numf("%.4f", gap))
 	}
-	rep.AddSection("Theorem 5.1 (convex): optimality gap over global updates", tb)
+	rep.AddTable(tb)
+	rep.AddSeries(gapSeries)
 
 	// Trend check: the second half's mean gap must sit below the first
 	// half's (monotone-in-expectation decay).
@@ -63,7 +68,9 @@ func TheoryValidation(p Preset) (*Report, error) {
 	if !(secondHalf < firstHalf) {
 		verdict = "NOT decreasing — inconsistent with Theorem 5.1"
 	}
-	rep.AddText(fmt.Sprintf("Mean gap, first half %.4f vs second half %.4f: %s",
+	rep.AddScalar("convex/mean_gap_first_half", firstHalf, "loss")
+	rep.AddScalar("convex/mean_gap_second_half", secondHalf, "loss")
+	rep.AddNote(fmt.Sprintf("Mean gap, first half %.4f vs second half %.4f: %s",
 		firstHalf, secondHalf, verdict))
 
 	// Non-convex case (Theorem 5.2): the loss trend on the image model.
@@ -74,7 +81,9 @@ func TheoryValidation(p Preset) (*Report, error) {
 	runNC := runsNC["fedat"]
 	rep.Keep("nonconvex", runNC)
 	first, last := runNC.Points[0].Loss, runNC.FinalLoss()
-	rep.AddText(fmt.Sprintf("Theorem 5.2 (non-convex) proxy: training objective fell from %.4f to %.4f "+
+	rep.AddScalar("nonconvex/first_loss", first, "loss")
+	rep.AddScalar("nonconvex/final_loss", last, "loss")
+	rep.AddNote(fmt.Sprintf("Theorem 5.2 (non-convex) proxy: training objective fell from %.4f to %.4f "+
 		"over %d updates (bounded-average-gradient claim).", first, last, runNC.GlobalRounds))
 	return rep, nil
 }

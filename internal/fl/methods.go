@@ -2,9 +2,9 @@ package fl
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/util"
 )
 
 // Runner is a federated-learning method: it consumes an environment and
@@ -24,14 +24,7 @@ var Methods = map[string]Runner{
 }
 
 // MethodNames returns the registry keys in deterministic order.
-func MethodNames() []string {
-	names := make([]string, 0, len(Methods))
-	for n := range Methods {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func MethodNames() []string { return util.SortedKeys(Methods) }
 
 // Lookup resolves a method by its registry name.
 func Lookup(name string) (Runner, error) {

@@ -8,7 +8,6 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"strings"
 )
 
 // Point is one evaluation of the global model during a run.
@@ -165,57 +164,4 @@ func Variance(vals []float64) float64 {
 // Table 2 uses.
 func FormatBytes(b int64) string {
 	return fmt.Sprintf("%.2f MB", float64(b)/1e6)
-}
-
-// Table is a tiny fixed-width text table builder for experiment reports.
-type Table struct {
-	header []string
-	rows   [][]string
-}
-
-// NewTable creates a table with the given column headers.
-func NewTable(header ...string) *Table { return &Table{header: header} }
-
-// AddRow appends a row; short rows are padded.
-func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.header))
-	copy(row, cells)
-	t.rows = append(t.rows, row)
-}
-
-// String renders the table.
-func (t *Table) String() string {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.rows {
-		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.header)
-	for i, w := range widths {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", w))
-	}
-	b.WriteByte('\n')
-	for _, row := range t.rows {
-		writeRow(row)
-	}
-	return b.String()
 }

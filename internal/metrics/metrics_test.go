@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"math"
-	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -140,22 +139,5 @@ func TestVariance(t *testing.T) {
 func TestFormatBytes(t *testing.T) {
 	if got := FormatBytes(1675820000); got != "1675.82 MB" {
 		t.Fatalf("FormatBytes: %q", got)
-	}
-}
-
-func TestTableRendering(t *testing.T) {
-	tb := NewTable("method", "acc")
-	tb.AddRow("FedAT", "0.591")
-	tb.AddRow("FedAvg", "0.547")
-	s := tb.String()
-	if !strings.Contains(s, "FedAT") || !strings.Contains(s, "0.547") {
-		t.Fatalf("table missing content:\n%s", s)
-	}
-	lines := strings.Split(strings.TrimSpace(s), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("table has %d lines, want 4", len(lines))
-	}
-	if len(lines[1]) == 0 || lines[1][0] != '-' {
-		t.Fatalf("missing separator: %q", lines[1])
 	}
 }

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/util"
+)
+
+// WriteCSV emits the table as CSV: the header row then one row per data
+// row, using each cell's exact text rendering.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("report: write table csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		rec := make([]string, len(row))
+		for i, c := range row {
+			rec[i] = c.Text
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: write table csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the series as two-column CSV. Values use the shortest
+// round-trip float formatting, so parsing the file back yields the exact
+// points.
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{s.X, s.Y}); err != nil {
+		return fmt.Errorf("report: write series csv header: %w", err)
+	}
+	for _, p := range s.Pts {
+		rec := []string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: write series csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseSeriesCSV reads back a series written by Series.WriteCSV.
+func ParseSeriesCSV(r io.Reader) (Series, error) {
+	recs, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return Series{}, fmt.Errorf("report: parse series csv: %w", err)
+	}
+	if len(recs) == 0 || len(recs[0]) != 2 {
+		return Series{}, fmt.Errorf("report: series csv missing x,y header")
+	}
+	s := Series{X: recs[0][0], Y: recs[0][1]}
+	for _, rec := range recs[1:] {
+		x, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return Series{}, fmt.Errorf("report: series csv x %q: %w", rec[0], err)
+		}
+		y, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return Series{}, fmt.Errorf("report: series csv y %q: %w", rec[1], err)
+		}
+		s.Pts = append(s.Pts, XY{X: x, Y: y})
+	}
+	return s, nil
+}
+
+// WriteCSVDir writes the report's machine-readable pieces into dir — one
+// file per table artifact, one per series artifact, and one full
+// evaluation dump per kept run (via metrics.WriteCSV) — and returns the
+// file names written, in order.
+func WriteCSVDir(dir string, r *Report) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	emit := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+	nTables, nSeries := 0, 0
+	for _, a := range r.Artifacts {
+		switch art := a.(type) {
+		case *Table:
+			nTables++
+			name := fmt.Sprintf("%s__table%02d_%s.csv", r.ID, nTables, Slug(art.Caption))
+			if err := emit(name, art.WriteCSV); err != nil {
+				return written, err
+			}
+		case Series:
+			nSeries++
+			name := fmt.Sprintf("%s__series%02d_%s.csv", r.ID, nSeries, Slug(art.Name))
+			if err := emit(name, art.WriteCSV); err != nil {
+				return written, err
+			}
+		}
+	}
+	for _, key := range util.SortedKeys(r.Runs) {
+		run := r.Runs[key]
+		name := fmt.Sprintf("%s__run_%s.csv", r.ID, Slug(key))
+		if err := emit(name, run.WriteCSV); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Slug maps an artifact caption or run key to a filesystem-safe token:
+// alphanumerics, '.', '-' and '_' pass through, everything else becomes
+// '_'. Long slugs are truncated so paths stay manageable.
+func Slug(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	const maxLen = 80
+	if len(out) > maxLen {
+		out = out[:maxLen]
+	}
+	return string(out)
+}

@@ -1,0 +1,22 @@
+// Package util holds tiny generic helpers shared across layers. It sits
+// below everything else (no in-module imports), so any package may use it
+// without creating cycles.
+package util
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the keys of m in ascending order. Registries keyed by
+// name (fl.Methods, experiments.Registry, the experiment scheduler's run
+// cache) use it to iterate deterministically: map iteration order is
+// randomized, but reports, dispatch order and CLI listings must not be.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return cmp.Less(keys[i], keys[j]) })
+	return keys
+}

@@ -1,0 +1,45 @@
+package util
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeysStrings(t *testing.T) {
+	m := map[string]int{"fig2": 1, "table1": 2, "ablation-lambda": 3, "fig10": 4}
+	got := SortedKeys(m)
+	want := []string{"ablation-lambda", "fig10", "fig2", "table1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysInts(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	if got := SortedKeys(m); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+func TestSortedKeysEmptyAndNil(t *testing.T) {
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("empty map gave %v", got)
+	}
+	var m map[string]int
+	if got := SortedKeys(m); len(got) != 0 {
+		t.Fatalf("nil map gave %v", got)
+	}
+}
+
+func TestSortedKeysDeterministic(t *testing.T) {
+	m := map[string]struct{}{}
+	for _, k := range []string{"q", "a", "z", "m", "b", "x"} {
+		m[k] = struct{}{}
+	}
+	first := SortedKeys(m)
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(SortedKeys(m), first) {
+			t.Fatal("SortedKeys order not stable across calls")
+		}
+	}
+}
