@@ -117,10 +117,32 @@ func benchEnv(b *testing.B, c codec.Codec, seed uint64) *fl.Env {
 	return env
 }
 
+// benchRun executes one registry method on a fresh bench environment.
+func benchRun(b *testing.B, name string, c codec.Codec, seed uint64) {
+	b.Helper()
+	if _, err := fl.Run(name, benchEnv(b, c, seed)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMethod measures one full run of every registry method at the
+// tiny-scale environment — the per-method perf trajectory CI records into
+// BENCH_fl.json.
+func BenchmarkMethod(b *testing.B) {
+	for _, name := range fl.MethodNames() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchRun(b, name, codec.Raw{}, 7)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationFedATRun measures one full FedAT run end to end.
 func BenchmarkAblationFedATRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fl.FedAT(benchEnv(b, codec.NewPolyline(4), 9))
+		benchRun(b, "fedat", codec.NewPolyline(4), 9)
 	}
 }
 
@@ -129,12 +151,12 @@ func BenchmarkAblationFedATRun(b *testing.B) {
 func BenchmarkAblationCompression(b *testing.B) {
 	b.Run("polyline4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			fl.FedAT(benchEnv(b, codec.NewPolyline(4), 9))
+			benchRun(b, "fedat", codec.NewPolyline(4), 9)
 		}
 	})
 	b.Run("raw", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			fl.FedAT(benchEnv(b, codec.Raw{}, 9))
+			benchRun(b, "fedat", codec.Raw{}, 9)
 		}
 	})
 }

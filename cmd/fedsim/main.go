@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fl"
 	"repro/internal/parallel"
 	"repro/internal/report"
 )
@@ -44,6 +46,14 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, json, or csv")
 		outDir  = flag.String("out", "", "directory to write output files into (required for csv; optional for text/json, which default to stdout)")
 		workers = flag.Int("workers", 0, "global cap on concurrently executing simulations (0 = GOMAXPROCS); with -exp all, also caps concurrent experiments")
+
+		// Composition mode: run one method assembled from policies.
+		compose = flag.String("compose", "", "run a single method composition: a registry method name used as the base spec (see -select/-pacer/-agg)")
+		selName = flag.String("select", "", "override the selection policy: random, oversel, tifl, all")
+		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client")
+		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed")
+		name    = flag.String("name", "", "display name for the composed method (default derived from overrides)")
+		trace   = flag.Bool("trace", false, "with -compose, print the run's event stream to stderr")
 	)
 	flag.Parse()
 
@@ -54,7 +64,21 @@ func main() {
 		}
 		fmt.Println("presets: tiny, small, medium, paper")
 		fmt.Println("formats: text, json, csv")
+		fmt.Println("method composition (-compose <base> [-select ...] [-pacer ...] [-agg ...]):")
+		for _, mn := range fl.MethodNames() {
+			m := fl.Methods[mn]
+			fmt.Printf("  %-14s = %s\n", mn, m)
+		}
 		return
+	}
+	if *compose != "" {
+		os.Exit(runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace))
+	}
+	for _, f := range []struct{ name, val string }{{"-select", *selName}, {"-pacer", *pacer}, {"-agg", *agg}} {
+		if f.val != "" {
+			fmt.Fprintf(os.Stderr, "fedsim: %s requires -compose\n", f.name)
+			os.Exit(2)
+		}
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "fedsim: -exp required (use -list to see experiments)")
@@ -177,6 +201,86 @@ func main() {
 			len(ids), experiments.SimulationCount(), experiments.CacheHitCount(),
 			time.Since(wallStart).Round(time.Millisecond))
 	}
+}
+
+// runComposition assembles a method from the base registry spec plus the
+// policy overrides, runs it on the standard ablation testbed at the given
+// preset, and prints a run summary. It returns the process exit code;
+// composition and aggregation errors surface here rather than panicking.
+func runComposition(base, sel, pacer, agg, name, preset string, trace bool) int {
+	p, err := experiments.PresetByName(preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		return 2
+	}
+	m, err := fl.Lookup(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		return 2
+	}
+	var overrides []string
+	if sel != "" {
+		m.Select = sel
+		overrides = append(overrides, "select="+sel)
+	}
+	if pacer != "" {
+		m.Pace = pacer
+		overrides = append(overrides, "pacer="+pacer)
+	}
+	if agg != "" {
+		m.Update = agg
+		overrides = append(overrides, "agg="+agg)
+	}
+	if name != "" {
+		m.Name = name
+	} else if len(overrides) > 0 {
+		m.Name = fmt.Sprintf("%s[%s]", m.Name, strings.Join(overrides, ","))
+	}
+
+	var obs []fl.Observer
+	if trace {
+		obs = append(obs, fl.ObserverFunc(func(ev fl.Event) {
+			switch e := ev.(type) {
+			case fl.RoundStartEvent:
+				fmt.Fprintf(os.Stderr, "t=%8.1fs  round %4d  tier %d: %d clients selected\n",
+					e.Time, e.Round, e.Tier, len(e.Clients))
+			case fl.ClientDoneEvent:
+				if e.Dropped {
+					fmt.Fprintf(os.Stderr, "t=%8.1fs  client %d dropped mid-round\n", e.Time, e.Client)
+				}
+			case fl.TierFoldEvent:
+				fmt.Fprintf(os.Stderr, "t=%8.1fs  fold  %4d  tier %d: %d updates\n",
+					e.Time, e.Round, e.Tier, e.Kept)
+			case fl.EvalEvent:
+				fmt.Fprintf(os.Stderr, "t=%8.1fs  eval  %4d  acc=%.3f loss=%.3f var=%.2e\n",
+					e.Time, e.Round, e.Result.Acc, e.Result.Loss, e.Result.Variance)
+			}
+		}))
+	}
+
+	start := time.Now()
+	run, err := experiments.RunComposed(p, m, obs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		return 1
+	}
+	finalTime, perUpdate := 0.0, 0.0
+	if len(run.Points) > 0 {
+		finalTime = run.Points[len(run.Points)-1].Time
+	}
+	if run.GlobalRounds > 0 {
+		perUpdate = finalTime / float64(run.GlobalRounds)
+	}
+	fmt.Printf("method %s (%s) on cifar10(#2) at preset %s\n", run.Method, m, p.Name)
+	fmt.Printf("global updates    %d\n", run.GlobalRounds)
+	fmt.Printf("best accuracy     %.3f\n", run.BestAcc())
+	fmt.Printf("final accuracy    %.3f\n", run.FinalAcc())
+	fmt.Printf("accuracy variance %.2e\n", run.MeanVariance())
+	fmt.Printf("sec/update        %.1fs (%.1fs virtual total)\n", perUpdate, finalTime)
+	fmt.Printf("communication     %.2f MB up, %.2f MB down\n",
+		float64(run.UpBytes)/1e6, float64(run.DownBytes)/1e6)
+	fmt.Fprintf(os.Stderr, "(completed in %s)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 // writeTextFile renders one report into <out>/<id>.txt.

@@ -83,5 +83,9 @@ func trainWith(c codec.Codec) *metrics.Run {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return fl.FedAT(env)
+	run, err := fl.Run("fedat", env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return run
 }

@@ -65,7 +65,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	run := fl.FedAT(env)
+	// 5. Run it. FedAT is a composition of pluggable policies (random
+	// selection / tier pacing / Eq. 5 folding); observers subscribe to the
+	// run's event stream — here we count each tier's global updates.
+	foldsPerTier := map[int]int{}
+	counter := fl.ObserverFunc(func(ev fl.Event) {
+		if f, ok := ev.(fl.TierFoldEvent); ok {
+			foldsPerTier[f.Tier]++
+		}
+	})
+	run, err := fl.Run("fedat", env, counter)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("round  time      acc    variance  uploaded")
 	for _, p := range run.Points {
@@ -74,6 +86,11 @@ func main() {
 	fmt.Printf("\nbest accuracy %.3f after %d global updates; %s uploaded, %s downloaded\n",
 		run.BestAcc(), run.GlobalRounds,
 		fmtMB(run.UpBytes), fmtMB(run.DownBytes))
+	fmt.Print("updates per tier (fast→slow):")
+	for m := 0; m < 5; m++ {
+		fmt.Printf(" %d", foldsPerTier[m])
+	}
+	fmt.Println(" — fast tiers update most; Eq. 5 reweights them down")
 }
 
 func fmtMB(b int64) string { return fmt.Sprintf("%.2f MB", float64(b)/1e6) }

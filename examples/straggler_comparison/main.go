@@ -79,11 +79,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runner, err := fl.Lookup(name)
+		run, err := fl.Run(name, env)
 		if err != nil {
 			log.Fatal(err)
 		}
-		run := runner(env)
 
 		finalTime := 0.0
 		if n := len(run.Points); n > 0 {

@@ -128,6 +128,10 @@ func (a *Aggregator) tierWeightsLocked() []float64 {
 type ClientUpdate struct {
 	Weights []float64
 	N       int // n_k, the client's local sample count
+	// Client identifies the originating client for update rules that keep
+	// per-client server state (ASO-Fed's model copies). The tier aggregator
+	// itself does not read it.
+	Client int
 }
 
 // UpdateTier performs one tier-m round (the body of Algorithm 2): the

@@ -150,7 +150,7 @@ func Figure10(p Preset) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			return fl.FedAT(env), nil
+			return fl.Run("fedat", env)
 		})
 		if errs[i] == nil {
 			runs[i].Method = figure10Configs[i].label

@@ -132,20 +132,38 @@ func runConfig(p Preset, d dsSpec) fl.RunConfig {
 }
 
 // methodRoundCap scales the round cap for methods whose global updates are
-// cheaper than a synchronous round: within the shared time budget FedAT's
-// tiers produce several times more updates, and the wait-free async
-// methods more still.
-func methodRoundCap(name string, base int) int {
-	switch name {
-	case "fedat":
+// cheaper than a synchronous round. The cap is a function of the method's
+// pacing policy, so novel compositions inherit the right budget: tier-paced
+// loops produce several times more updates within the shared time budget,
+// and the wait-free client loops more still.
+func methodRoundCap(m fl.Method, base int) int {
+	switch m.Pace {
+	case "tier":
 		return base * 12
-	case "fedasync", "asofed":
+	case "client":
 		// Wait-free updates are ~20x cheaper than a synchronous round;
 		// x24 covers the methods' plateau (verified against a full-budget
 		// probe) at a fraction of the simulation cost.
 		return base * 24
 	default:
 		return base
+	}
+}
+
+// applyRoundBudget scales the round cap and evaluation cadence to the
+// method's pacing granularity — one definition shared by scheduler cells
+// and RunComposed, so -compose runs stay comparable to cached experiment
+// cells. Evaluation cadence grows with the round cap, but only half as
+// fast: cheap-update methods produce updates faster in TIME too, so
+// halving keeps the wall-clock eval density of their timelines comparable
+// to the synchronous baselines'.
+func applyRoundBudget(cfg *fl.RunConfig, m fl.Method) {
+	base := cfg.Rounds
+	cfg.Rounds = methodRoundCap(m, base)
+	mult := cfg.Rounds / base
+	cfg.EvalEvery = cfg.EvalEvery * (1 + mult) / 2
+	if cfg.EvalEvery < 1 {
+		cfg.EvalEvery = 1
 	}
 }
 
@@ -181,7 +199,7 @@ func buildEnvParts(p Preset, d dsSpec, partSizes []int, mutate func(*fl.RunConfi
 func simulateCell(c cell) (*metrics.Run, error) {
 	acquireSlot() // the global -workers budget, shared by every batch
 	defer releaseSlot()
-	runner, err := fl.Lookup(c.method)
+	method, err := c.methodSpec()
 	if err != nil {
 		return nil, err
 	}
@@ -195,23 +213,31 @@ func simulateCell(c cell) (*metrics.Run, error) {
 		if c.mutate != nil {
 			c.mutate(cfg)
 		}
-		base := cfg.Rounds
-		cfg.Rounds = methodRoundCap(c.method, base)
-		// Evaluation cadence grows with the round cap, but only half
-		// as fast: cheap-update methods produce updates faster in
-		// TIME too, so halving keeps the wall-clock eval density of
-		// their timelines comparable to the synchronous baselines'.
-		mult := cfg.Rounds / base
-		cfg.EvalEvery = cfg.EvalEvery * (1 + mult) / 2
-		if cfg.EvalEvery < 1 {
-			cfg.EvalEvery = 1
-		}
+		applyRoundBudget(cfg, method)
 	})
 	if err != nil {
 		return nil, err
 	}
 	simulations.Add(1)
-	return runner(env), nil
+	return method.Run(env)
+}
+
+// RunComposed runs an explicit policy composition on the standard ablation
+// testbed (cifar10, 2 classes per client) at preset p — cmd/fedsim's
+// -compose mode, where novel method variants are assembled from flags. The
+// round cap and evaluation cadence scale with the composition's pacer
+// exactly as they do for registry methods, so results are comparable to the
+// cached experiment cells. Observers subscribe to the run's event stream.
+func RunComposed(p Preset, m fl.Method, obs ...fl.Observer) (*metrics.Run, error) {
+	return simulateDirect(func() (*metrics.Run, error) {
+		env, err := buildEnv(p, dsSpec{name: "cifar10", classesPerClient: 2}, func(cfg *fl.RunConfig) {
+			applyRoundBudget(cfg, m)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return m.Run(env, obs...)
+	})
 }
 
 // runMethods executes the named methods serially, bypassing the run cache

@@ -48,9 +48,22 @@ type cell struct {
 	method  string
 	variant string
 	mutate  func(*fl.RunConfig)
+	// spec overrides the registry lookup with an explicit policy
+	// composition (the composition-ablation cells). When set, method must
+	// be a unique label for the composition — it keys the cache.
+	spec *fl.Method
 }
 
 func (c cell) key() string { return cacheKey(c.p, c.d, c.method, c.variant) }
+
+// methodSpec resolves the cell's method: an explicit composition if one is
+// attached, else the registry entry named by method.
+func (c cell) methodSpec() (fl.Method, error) {
+	if c.spec != nil {
+		return *c.spec, nil
+	}
+	return fl.Lookup(c.method)
+}
 
 // cellState is the singleflight slot for one cell. done is closed exactly
 // once, after run/err/simMS are set, by the goroutine that claimed the

@@ -26,7 +26,10 @@ func TestDiagFedATDynamics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run := fl.FedAT(env)
+		run, err := fl.Run("fedat", env)
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Logf("FedAT rounds=%d best=%.3f final=%.3f time=%.0fs",
 			rounds, run.BestAcc(), run.FinalAcc(), run.Points[len(run.Points)-1].Time)
 		if run.BestAcc()+0.02 < prev {
@@ -41,6 +44,9 @@ func TestDiagFedATDynamics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	avg := fl.FedAvg(env)
+	avg, err := fl.Run("fedavg", env)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("FedAvg rounds=360 best=%.3f time=%.0fs", avg.BestAcc(), avg.Points[len(avg.Points)-1].Time)
 }

@@ -28,6 +28,7 @@ var Registry = map[string]Experiment{
 	"fig10":  {"fig10", "Tier-size distributions", Figure10},
 
 	// Extensions beyond the paper's figures (see DESIGN.md §3).
+	"ablation-compose":   {"ablation-compose", "Novel policy compositions", AblationCompose},
 	"ablation-mistier":   {"ablation-mistier", "Mis-tiering tolerance", AblationMisTier},
 	"ablation-staleness": {"ablation-staleness", "FedAsync staleness sweep", AblationStaleness},
 	"ablation-lambda":    {"ablation-lambda", "Proximal λ sweep", AblationLambda},

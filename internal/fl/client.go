@@ -1,9 +1,13 @@
 // Package fl assembles the substrates into runnable federated-learning
-// methods: the shared client trainer, the evaluation harness, communication
-// accounting, and the six methods the paper compares — FedAT plus the
-// FedAvg, FedProx, TiFL, FedAsync and ASO-Fed baselines. All methods run on
-// the discrete-event simulator so time-to-accuracy comparisons share one
-// clock and one straggler model.
+// methods. A method is a declarative composition of pluggable policies —
+// a Selector (who trains), a Pacer (when rounds happen), an UpdateRule
+// (how updates fold into the global model) and a LocalPolicy (how clients
+// train locally) — plus an Observer event stream every run emits. The
+// registry expresses the seven methods the paper compares (FedAT and the
+// FedAvg, FedProx, TiFL, FedAsync, ASO-Fed and over-selection baselines)
+// as such compositions, and novel variants are just different field
+// values. All methods run on the discrete-event simulator so
+// time-to-accuracy comparisons share one clock and one straggler model.
 package fl
 
 import (

@@ -17,11 +17,7 @@ func TestAllMethodsDeterministic(t *testing.T) {
 				cfg := baseCfg()
 				cfg.Rounds = 12
 				env := testEnv(t, 2, cfg)
-				runner, err := Lookup(name)
-				if err != nil {
-					t.Fatal(err)
-				}
-				r := runner(env)
+				r := mustRun(t, name, env)
 				sig := [2]int64{r.UpBytes, int64(r.GlobalRounds)}
 				for _, p := range r.Points {
 					sig[0] += int64(p.Acc * 1e12)
@@ -44,10 +40,10 @@ func TestMethodsIsolatedFromEachOther(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Rounds = 8
 	// Run FedAvg alone.
-	alone := FedAvg(testEnv(t, 0, cfg))
+	alone := mustRun(t, "fedavg", testEnv(t, 0, cfg))
 	// Run FedAT first, then FedAvg.
-	FedAT(testEnv(t, 0, cfg))
-	after := FedAvg(testEnv(t, 0, cfg))
+	mustRun(t, "fedat", testEnv(t, 0, cfg))
+	after := mustRun(t, "fedavg", testEnv(t, 0, cfg))
 	if alone.UpBytes != after.UpBytes || alone.BestAcc() != after.BestAcc() {
 		t.Fatalf("FedAvg results depend on a preceding FedAT run: %v/%v vs %v/%v",
 			alone.UpBytes, alone.BestAcc(), after.UpBytes, after.BestAcc())
@@ -61,7 +57,7 @@ func TestSeedChangesResults(t *testing.T) {
 		cfg.Rounds = 10
 		cfg.Seed = seed
 		env := testEnv(t, 2, cfg)
-		return FedAT(env).BestAcc()
+		return mustRun(t, "fedat", env).BestAcc()
 	}
 	a, b := mk(1), mk(2)
 	if a == b {
@@ -70,9 +66,9 @@ func TestSeedChangesResults(t *testing.T) {
 		cfg := baseCfg()
 		cfg.Rounds = 10
 		cfg.Seed = 1
-		r1 := FedAT(testEnv(t, 2, cfg))
+		r1 := mustRun(t, "fedat", testEnv(t, 2, cfg))
 		cfg.Seed = 2
-		r2 := FedAT(testEnv(t, 2, cfg))
+		r2 := mustRun(t, "fedat", testEnv(t, 2, cfg))
 		if r1.UpBytes == r2.UpBytes && fmt.Sprint(r1.Points) == fmt.Sprint(r2.Points) {
 			t.Fatal("different seeds produced identical runs")
 		}
@@ -90,7 +86,7 @@ func TestDropoutsReduceParticipants(t *testing.T) {
 	for _, c := range env.Clients {
 		c.Runtime.DropAt = 3.0
 	}
-	run := FedAvg(env)
+	run := mustRun(t, "fedavg", env)
 	if run.GlobalRounds > 3 {
 		t.Fatalf("rounds kept completing after universal dropout: %d", run.GlobalRounds)
 	}
@@ -98,7 +94,7 @@ func TestDropoutsReduceParticipants(t *testing.T) {
 	for _, c := range env2.Clients {
 		c.Runtime.DropAt = 3.0
 	}
-	run2 := FedAT(env2)
+	run2 := mustRun(t, "fedat", env2)
 	if run2.GlobalRounds > 10 {
 		t.Fatalf("FedAT kept updating after universal dropout: %d", run2.GlobalRounds)
 	}

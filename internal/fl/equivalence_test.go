@@ -1,0 +1,157 @@
+package fl
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// runRecord and runRegistryMethod isolate the invocation surface: the golden
+// data stays fixed across API changes, only this shim tracks the registry.
+type runRecord = metrics.Run
+
+func toRecord(r *metrics.Run) runRecord { return *r }
+
+func runRegistryMethod(name string, env *Env) (*metrics.Run, error) {
+	return Run(name, env)
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden run data")
+
+// goldenPoint pins one evaluation point bit-exactly: floats are stored as
+// IEEE-754 bit patterns in hex so JSON round-tripping cannot lose precision.
+type goldenPoint struct {
+	Round     int    `json:"round"`
+	Time      string `json:"time_bits"`
+	UpBytes   int64  `json:"up_bytes"`
+	DownBytes int64  `json:"down_bytes"`
+	Acc       string `json:"acc_bits"`
+	Loss      string `json:"loss_bits"`
+	Var       string `json:"var_bits"`
+}
+
+// goldenRun pins one method's full metrics.Run.
+type goldenRun struct {
+	Method       string        `json:"method"`
+	Dataset      string        `json:"dataset"`
+	GlobalRounds int           `json:"global_rounds"`
+	UpBytes      int64         `json:"up_bytes"`
+	DownBytes    int64         `json:"down_bytes"`
+	Points       []goldenPoint `json:"points"`
+}
+
+func bits(f float64) string { return fmt.Sprintf("%016x", math.Float64bits(f)) }
+
+func goldenFromRun(name string, r runRecord) goldenRun {
+	g := goldenRun{
+		Method:       r.Method,
+		Dataset:      r.Dataset,
+		GlobalRounds: r.GlobalRounds,
+		UpBytes:      r.UpBytes,
+		DownBytes:    r.DownBytes,
+	}
+	for _, p := range r.Points {
+		g.Points = append(g.Points, goldenPoint{
+			Round: p.Round, Time: bits(p.Time),
+			UpBytes: p.UpBytes, DownBytes: p.DownBytes,
+			Acc: bits(p.Acc), Loss: bits(p.Loss), Var: bits(p.Var),
+		})
+	}
+	_ = name
+	return g
+}
+
+// goldenCfg is the pinned tiny configuration: small enough to run every
+// method in seconds, large enough to exercise tier profiling, the TiFL
+// accuracy refresh (interval 10 < rounds), FedProx's variable epochs,
+// over-selection trimming and the async staleness discount.
+func goldenCfg() RunConfig {
+	return RunConfig{
+		Rounds:          12,
+		ClientsPerRound: 5,
+		LocalEpochs:     2,
+		BatchSize:       8,
+		Lambda:          0.4,
+		LearningRate:    0.01,
+		NumTiers:        5,
+		EvalEvery:       2,
+		Seed:            3,
+	}
+}
+
+// TestMethodRunEquivalence locks every registry method to the exact
+// metrics.Run the pre-decomposition monolithic runners produced (generated
+// with -update at the commit before the policy/event refactor). Any change
+// to selection order, RNG stream labelling, link reservation order or
+// aggregation math shows up here as a bit-level diff.
+func TestMethodRunEquivalence(t *testing.T) {
+	path := filepath.Join("testdata", "golden_runs.json")
+
+	got := map[string]goldenRun{}
+	for _, name := range MethodNames() {
+		env := testEnv(t, 2, goldenCfg())
+		run, err := runRegistryMethod(name, env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = goldenFromRun(name, toRecord(run))
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden data (regenerate with -update): %v", err)
+	}
+	want := map[string]goldenRun{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden data has %d methods, registry has %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("method %s missing from registry", name)
+			continue
+		}
+		if g.Method != w.Method || g.Dataset != w.Dataset {
+			t.Errorf("%s: identity changed: got %s/%s want %s/%s",
+				name, g.Method, g.Dataset, w.Method, w.Dataset)
+		}
+		if g.GlobalRounds != w.GlobalRounds || g.UpBytes != w.UpBytes || g.DownBytes != w.DownBytes {
+			t.Errorf("%s: totals changed: got rounds=%d up=%d down=%d want rounds=%d up=%d down=%d",
+				name, g.GlobalRounds, g.UpBytes, g.DownBytes, w.GlobalRounds, w.UpBytes, w.DownBytes)
+		}
+		if len(g.Points) != len(w.Points) {
+			t.Errorf("%s: %d eval points, want %d", name, len(g.Points), len(w.Points))
+			continue
+		}
+		for i := range w.Points {
+			if g.Points[i] != w.Points[i] {
+				t.Errorf("%s: point %d diverged:\n got %+v\nwant %+v", name, i, g.Points[i], w.Points[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fl
+
+import "repro/internal/metrics"
+
+// The run event stream. Every method emits the same four event kinds as it
+// executes, no matter how its policies are composed; observers subscribe to
+// the stream instead of being wired into each method's loop. The built-in
+// recorder (the thing that produces metrics.Run) is itself just the first
+// subscriber — callers can attach more via Method.Run's variadic observers
+// to trace folds, collect per-client statistics or stream progress without
+// touching the engine.
+//
+// Events are observations only: emitting them never draws randomness,
+// reserves link capacity or advances the virtual clock, so attaching an
+// observer cannot perturb a run. Slices carried by events (RoundStart's
+// Clients) are shared with the engine and must not be mutated or retained.
+
+// Event is one occurrence in a training run. The concrete types below are
+// the full set; observers type-switch on them.
+type Event interface{ event() }
+
+// RoundStartEvent fires when a cohort has been selected and is about to
+// train. Tier is the training tier (-1 when the selecting policy is
+// untiered — population-wide sampling or the wait-free client loops).
+type RoundStartEvent struct {
+	Tier    int
+	Round   int     // global update count when the round started
+	Time    float64 // virtual seconds
+	Clients []int   // selected client ids (shared; read-only)
+}
+
+// ClientDoneEvent fires when one client's local round has been resolved:
+// either its update arrived at the server or it dropped mid-round.
+type ClientDoneEvent struct {
+	Client  int
+	Tier    int
+	Time    float64 // server arrival (or the time the loss was discovered)
+	Dropped bool
+}
+
+// TierFoldEvent fires after the update rule folded a batch of client
+// updates into the global state — one global update.
+type TierFoldEvent struct {
+	Tier  int
+	Round int     // global update count after the fold
+	Time  float64 // virtual seconds
+	Kept  int     // client updates that counted
+}
+
+// EvalEvent fires when the engine evaluated the global model at the
+// configured cadence.
+type EvalEvent struct {
+	Round     int
+	Time      float64
+	Result    Result
+	UpBytes   int64 // cumulative communication at evaluation time
+	DownBytes int64
+}
+
+func (RoundStartEvent) event() {}
+func (ClientDoneEvent) event() {}
+func (TierFoldEvent) event()   {}
+func (EvalEvent) event()       {}
+
+// Observer receives the run event stream in engine-execution order (which
+// for the simulator-paced methods is virtual-time order of the fold and
+// eval events).
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// recorder is the built-in observer that turns Eval events into the
+// metrics.Run record every method returns.
+type recorder struct {
+	run *metrics.Run
+}
+
+func newRecorder(method, dataset string) *recorder {
+	return &recorder{run: &metrics.Run{Method: method, Dataset: dataset}}
+}
+
+// OnEvent implements Observer.
+func (rec *recorder) OnEvent(ev Event) {
+	e, ok := ev.(EvalEvent)
+	if !ok {
+		return
+	}
+	rec.run.Add(metrics.Point{
+		Round:     e.Round,
+		Time:      e.Time,
+		UpBytes:   e.UpBytes,
+		DownBytes: e.DownBytes,
+		Acc:       e.Result.Acc,
+		Loss:      e.Result.Loss,
+		Var:       e.Result.Variance,
+	})
+}
+
+// finish stamps the run totals once the pacer returns.
+func (rec *recorder) finish(comm *Comm, rounds int) *metrics.Run {
+	rec.run.UpBytes = comm.Up
+	rec.run.DownBytes = comm.Down
+	rec.run.GlobalRounds = rounds
+	return rec.run
+}

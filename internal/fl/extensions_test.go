@@ -7,7 +7,7 @@ import (
 func TestOverSelectionCompletesAndLearns(t *testing.T) {
 	cfg := baseCfg()
 	env := testEnv(t, 0, cfg)
-	run := FedAvgOverSel(env)
+	run := mustRun(t, "fedavg-oversel", env)
 	if run.GlobalRounds == 0 {
 		t.Fatal("no rounds completed")
 	}
@@ -23,9 +23,9 @@ func TestOverSelectionShortensRounds(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Rounds = 30
 	envA := testEnv(t, 0, cfg)
-	plain := FedAvg(envA)
+	plain := mustRun(t, "fedavg", envA)
 	envB := testEnv(t, 0, cfg)
-	over := FedAvgOverSel(envB)
+	over := mustRun(t, "fedavg-oversel", envB)
 	pa := plain.Points[len(plain.Points)-1].Time / float64(plain.GlobalRounds)
 	po := over.Points[len(over.Points)-1].Time / float64(over.GlobalRounds)
 	if po > pa*1.02 {
@@ -42,12 +42,12 @@ func TestOverSelectionShortensRounds(t *testing.T) {
 func TestMisTieringScramblesTiers(t *testing.T) {
 	cfg := baseCfg()
 	env := testEnv(t, 0, cfg)
-	clean := ProfileTiers(env)
+	clean := mustTiers(t, env)
 
 	cfgBad := baseCfg()
 	cfgBad.MisTierFrac = 0.5
 	envBad := testEnv(t, 0, cfgBad)
-	dirty := ProfileTiers(envBad)
+	dirty := mustTiers(t, envBad)
 
 	moved := 0
 	for id := range clean.Assignment {
@@ -75,7 +75,7 @@ func TestFedATRunsUnderMisTiering(t *testing.T) {
 	cfg.MisTierFrac = 0.4
 	cfg.Rounds = 30
 	env := testEnv(t, 0, cfg)
-	run := FedAT(env)
+	run := mustRun(t, "fedat", env)
 	if run.GlobalRounds == 0 {
 		t.Fatal("mis-tiered FedAT made no progress")
 	}
@@ -87,8 +87,8 @@ func TestFedATRunsUnderMisTiering(t *testing.T) {
 func TestMisTieringDeterministic(t *testing.T) {
 	cfg := baseCfg()
 	cfg.MisTierFrac = 0.3
-	a := ProfileTiers(testEnv(t, 0, cfg))
-	b := ProfileTiers(testEnv(t, 0, cfg))
+	a := mustTiers(t, testEnv(t, 0, cfg))
+	b := mustTiers(t, testEnv(t, 0, cfg))
 	for id := range a.Assignment {
 		if a.Assignment[id] != b.Assignment[id] {
 			t.Fatal("mis-tiering not deterministic for a fixed seed")

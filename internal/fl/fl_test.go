@@ -62,11 +62,7 @@ func TestAllMethodsLearn(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cfg := baseCfg()
 			env := testEnv(t, 0, cfg) // IID: every method should learn
-			runner, err := Lookup(name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			run := runner(env)
+			run := mustRun(t, name, env)
 			if run.GlobalRounds == 0 {
 				t.Fatal("no global rounds completed")
 			}
@@ -94,7 +90,7 @@ func TestDeterministicRuns(t *testing.T) {
 		cfg := baseCfg()
 		cfg.Rounds = 15
 		env := testEnv(t, 2, cfg)
-		r := FedAT(env)
+		r := mustRun(t, "fedat", env)
 		accs := make([]float64, len(r.Points))
 		for i, p := range r.Points {
 			accs[i] = p.Acc
@@ -120,12 +116,12 @@ func TestFedATCompressionReducesBytes(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Rounds = 30
 	envRaw := testEnv(t, 2, cfg)
-	rawRun := FedAT(envRaw)
+	rawRun := mustRun(t, "fedat", envRaw)
 
 	cfg2 := cfg
 	cfg2.Codec = codec.NewPolyline(4)
 	envPoly := testEnv(t, 2, cfg2)
-	polyRun := FedAT(envPoly)
+	polyRun := mustRun(t, "fedat", envPoly)
 
 	if polyRun.UpBytes >= rawRun.UpBytes {
 		t.Fatalf("polyline upload %d not below raw %d", polyRun.UpBytes, rawRun.UpBytes)
@@ -153,9 +149,9 @@ func TestFedATUpdatesFasterThanFedAvg(t *testing.T) {
 	cfg.Rounds = 60
 	cfg.EvalEvery = 2
 	envA := testEnv(t, 0, cfg)
-	fedat := FedAT(envA)
+	fedat := mustRun(t, "fedat", envA)
 	envB := testEnv(t, 0, cfg)
-	fedavg := FedAvg(envB)
+	fedavg := mustRun(t, "fedavg", envB)
 
 	if fedat.GlobalRounds < cfg.Rounds || fedavg.GlobalRounds < cfg.Rounds/2 {
 		t.Fatalf("runs too short: fedat=%d fedavg=%d", fedat.GlobalRounds, fedavg.GlobalRounds)
@@ -179,12 +175,12 @@ func TestWeightedVsUniformAggregationDiffer(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Rounds = 12
 	envW := testEnv(t, 2, cfg)
-	w := FedAT(envW)
+	w := mustRun(t, "fedat", envW)
 
 	cfgU := cfg
 	cfgU.UniformAgg = true
 	envU := testEnv(t, 2, cfgU)
-	u := FedAT(envU)
+	u := mustRun(t, "fedat", envU)
 
 	if len(w.Points) == 0 || len(u.Points) == 0 {
 		t.Fatal("missing evaluations")

@@ -1,0 +1,234 @@
+package fl
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/tiering"
+	"repro/internal/util"
+)
+
+// Method is a federated-learning method expressed as a declarative
+// composition of policies: who trains (Select), how the loop is paced
+// (Pace), how arrived updates fold into the global state (Update), and how
+// clients train locally (Local). The registry below expresses every method
+// the paper compares this way, and novel variants — over-selection inside
+// FedAT's tiers, TiFL's credit selection feeding the Eq. 5 fold — are just
+// different field values, no new loop code.
+type Method struct {
+	Name   string // display name, also the method's RNG stream label
+	Select string // key into Selectors
+	Pace   string // key into Pacers
+	Update string // key into UpdateRules
+	Local  LocalPolicy
+}
+
+// LocalPolicy configures the clients' local objective for a method.
+type LocalPolicy struct {
+	// Prox trains with the Eq. 3 proximal constraint (λ = cfg.Lambda);
+	// false trains plain local SGD (λ = 0).
+	Prox bool
+	// VariableEpochs draws each round's local epoch count uniformly from
+	// 1..cfg.LocalEpochs (FedProx's device-heterogeneity mechanism).
+	VariableEpochs bool
+}
+
+// String renders the composition, e.g. "random/sync/avg".
+func (m Method) String() string {
+	return fmt.Sprintf("%s/%s/%s", m.Select, m.Pace, m.Update)
+}
+
+// Methods is the registry of every method the paper compares, plus the
+// over-selection strategy §2.1 discusses, each as a declarative policy
+// composition.
+var Methods = map[string]Method{
+	"fedat":          {Name: "FedAT", Select: "random", Pace: "tier", Update: "eq5", Local: LocalPolicy{Prox: true}},
+	"fedavg":         {Name: "FedAvg", Select: "random", Pace: "sync", Update: "avg"},
+	"fedprox":        {Name: "FedProx", Select: "random", Pace: "sync", Update: "avg", Local: LocalPolicy{Prox: true, VariableEpochs: true}},
+	"tifl":           {Name: "TiFL", Select: "tifl", Pace: "sync", Update: "avg"},
+	"fedasync":       {Name: "FedAsync", Select: "all", Pace: "client", Update: "staleness"},
+	"asofed":         {Name: "ASO-Fed", Select: "all", Pace: "client", Update: "asofed", Local: LocalPolicy{Prox: true}},
+	"fedavg-oversel": {Name: "FedAvg+oversel", Select: "oversel", Pace: "sync", Update: "avg"},
+}
+
+// MethodNames returns the registry keys in deterministic order.
+func MethodNames() []string { return util.SortedKeys(Methods) }
+
+// Lookup resolves a method spec by its registry name.
+func Lookup(name string) (Method, error) {
+	m, ok := Methods[name]
+	if !ok {
+		return Method{}, fmt.Errorf("fl: unknown method %q (have %v)", name, MethodNames())
+	}
+	return m, nil
+}
+
+// Run looks up a registry method and runs it — the common path for callers
+// that address methods by name.
+func Run(name string, env *Env, obs ...Observer) (*metrics.Run, error) {
+	m, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(env, obs...)
+}
+
+// Run executes the method on the environment and returns the run record.
+// Extra observers subscribe to the run event stream alongside the built-in
+// recorder. Composition errors (unknown policy keys, a pacer/selector
+// mismatch) and aggregation errors surface here instead of panicking.
+func (m Method) Run(env *Env, obs ...Observer) (*metrics.Run, error) {
+	if m.Name == "" {
+		return nil, fmt.Errorf("fl: method has no name")
+	}
+	selFac, ok := Selectors[m.Select]
+	if !ok {
+		return nil, fmt.Errorf("fl: method %s: unknown selector %q (have %v)", m.Name, m.Select, util.SortedKeys(Selectors))
+	}
+	pacer, ok := Pacers[m.Pace]
+	if !ok {
+		return nil, fmt.Errorf("fl: method %s: unknown pacer %q (have %v)", m.Name, m.Pace, util.SortedKeys(Pacers))
+	}
+	ruleFac, ok := UpdateRules[m.Update]
+	if !ok {
+		return nil, fmt.Errorf("fl: method %s: unknown update rule %q (have %v)", m.Name, m.Update, util.SortedKeys(UpdateRules))
+	}
+
+	cfg := env.Cfg
+	root := rng.New(cfg.Seed).SplitLabeled(hashName(m.Name))
+	rec := newRecorder(m.Name, env.Fed.Name)
+	rs := &runState{
+		env:      env,
+		method:   m,
+		comm:     NewComm(cfg.Codec, env.Shapes()),
+		root:     root,
+		epochRNG: root.SplitLabeled(epochLabel(m, cfg)),
+		sel:      selFac(),
+		rule:     ruleFac(),
+		obs:      append([]Observer{rec}, obs...),
+	}
+	// The update rule initializes before the selector: selectors that adapt
+	// to the global state (TiFL's accuracy-driven credits) may read it from
+	// their first Pick on.
+	if err := rs.rule.Init(rs); err != nil {
+		return nil, fmt.Errorf("fl: method %s: %w", m.Name, err)
+	}
+	if err := rs.sel.Init(rs); err != nil {
+		return nil, fmt.Errorf("fl: method %s: %w", m.Name, err)
+	}
+	if err := pacer.Run(rs); err != nil {
+		return nil, fmt.Errorf("fl: method %s: %w", m.Name, err)
+	}
+	return rec.finish(rs.comm, rs.rule.Rounds()), nil
+}
+
+// runState is the per-run engine state shared by the policies: the
+// environment, the communication channel, the composed policy instances and
+// the event/eval plumbing. Policies receive it in every hook.
+type runState struct {
+	env      *Env
+	method   Method
+	comm     *Comm
+	root     *rng.RNG // method-labelled RNG root; policies split their streams off it
+	epochRNG *rng.RNG // FedProx's variable-epoch stream (label 2)
+	sel      Selector
+	rule     UpdateRule
+	obs      []Observer
+
+	tiers      *tiering.Tiers // memoized latency partition
+	nextEvalAt int
+}
+
+// Tiers returns the profiled latency partition, computing it on first use —
+// tier-paced methods, tier-aware selectors and the Eq. 5 fold all share one
+// partition per run, exactly as FedAT reuses TiFL's tiering (§2.1).
+func (rs *runState) Tiers() (*tiering.Tiers, error) {
+	if rs.tiers == nil {
+		t, err := ProfileTiers(rs.env)
+		if err != nil {
+			return nil, err
+		}
+		rs.tiers = t
+	}
+	return rs.tiers, nil
+}
+
+// localConfig derives the round's local-training settings from the method's
+// LocalPolicy.
+func (rs *runState) localConfig(round uint64) LocalConfig {
+	lambda := 0.0
+	if rs.method.Local.Prox {
+		lambda = rs.env.Cfg.Lambda
+	}
+	lc := rs.env.LocalConfig(lambda, round)
+	if rs.method.Local.VariableEpochs {
+		lc.Epochs = 1 + rs.epochRNG.Intn(rs.env.Cfg.LocalEpochs)
+	}
+	return lc
+}
+
+// emit broadcasts one event to every observer.
+func (rs *runState) emit(ev Event) {
+	for _, o := range rs.obs {
+		o.OnEvent(ev)
+	}
+}
+
+// emitClientDones reports each trained client's resolution.
+func (rs *runState) emitClientDones(tier int, results []trainResult) {
+	for i := range results {
+		r := &results[i]
+		rs.emit(ClientDoneEvent{Client: r.client.ID, Tier: tier, Time: r.arrive, Dropped: r.dropped})
+	}
+}
+
+// maybeEval evaluates the global model at the configured cadence and emits
+// the Eval event the recorder (and any other observer) consumes.
+func (rs *runState) maybeEval(round int, now float64, w []float64) {
+	if round < rs.nextEvalAt {
+		return
+	}
+	rs.nextEvalAt = round + rs.env.Cfg.EvalEvery
+	res := rs.env.Eval.Evaluate(w)
+	rs.emit(EvalEvent{
+		Round: round, Time: now, Result: res,
+		UpBytes: rs.comm.Up, DownBytes: rs.comm.Down,
+	})
+}
+
+// epochLabel picks the RNG stream label for the variable-epochs draw: the
+// first label the method's selection policies do not already claim off the
+// same root, so a composition's epoch counts are never correlated with its
+// selection draws. The historical label assignments are fixed by the
+// bit-pinned golden runs — FedProx (random/sync) must keep label 2 — which
+// is why this walks forward from 2 instead of hashing a fresh namespace.
+func epochLabel(m Method, cfg RunConfig) uint64 {
+	claimed := map[uint64]bool{}
+	switch m.Select {
+	case "random", "oversel":
+		claimed[1] = true // selRNG
+	case "tifl":
+		claimed[1], claimed[2] = true, true // tierRNG, selRNG
+	}
+	if m.Pace == "tier" {
+		// Per-tier streams are labelled by tier index.
+		for l := 0; l < cfg.NumTiers; l++ {
+			claimed[uint64(l)] = true
+		}
+	}
+	l := uint64(2)
+	for claimed[l] {
+		l++
+	}
+	return l
+}
+
+// hashName gives each method an independent RNG stream label (FNV-1a).
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}

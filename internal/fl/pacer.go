@@ -1,0 +1,214 @@
+package fl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// Pacer is the loop-structure policy of a method: it decides when cohorts
+// train and when the update rule folds. The three pacers below are the
+// paper's three temporal regimes — lock-step synchronous rounds (FedAvg,
+// FedProx, TiFL, over-selection), concurrent per-tier round loops on the
+// discrete-event simulator (FedAT), and wait-free per-client loops
+// (FedAsync, ASO-Fed).
+type Pacer interface {
+	Run(rs *runState) error
+}
+
+// Pacers is the registry of pacing policies.
+var Pacers = map[string]Pacer{
+	"sync":   syncPacer{},
+	"tier":   tierPacer{},
+	"client": clientPacer{},
+}
+
+// ---------------------------------------------------------------------------
+// sync: one global round at a time; the server waits for the round's
+// completion time before starting the next — the straggler effect the paper
+// sets out to fix.
+
+type syncPacer struct{}
+
+func (syncPacer) Run(rs *runState) error {
+	sel, ok := rs.sel.(RoundSelector)
+	if !ok {
+		return fmt.Errorf("sync pacing needs a round selector, %q is not one", rs.method.Select)
+	}
+	cfg := rs.env.Cfg
+	now := 0.0
+	// Attempt budget guards against a fully-dropped population.
+	for attempt := 0; rs.rule.Rounds() < cfg.Rounds && attempt < 2*cfg.Rounds+10; attempt++ {
+		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+			break
+		}
+		cohort, tier, selNow, outcome := sel.Pick(rs, now)
+		now = selNow
+		if outcome == SelectStop {
+			break
+		}
+		if outcome == SelectSkip {
+			continue
+		}
+		round := rs.rule.Rounds()
+		rs.emit(RoundStartEvent{Tier: tier, Round: round, Time: now, Clients: cohort})
+		results := rs.env.trainGroup(cohort, now, rs.rule.Global(), rs.comm, rs.localConfig(uint64(round)))
+		rs.emitClientDones(tier, results)
+		kept, comp := sel.Harvest(rs, results)
+		now = comp
+		if len(kept) == 0 {
+			continue // every counted client dropped; no update this round
+		}
+		g, err := rs.rule.Fold(Fold{Tier: tier, Updates: toUpdates(kept), StartRound: round})
+		if err != nil {
+			return err
+		}
+		t := rs.rule.Rounds()
+		rs.emit(TierFoldEvent{Tier: tier, Round: t, Time: now, Kept: len(kept)})
+		rs.maybeEval(t, now, g)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// tier: FedAT's Algorithm 2 — every tier runs its own synchronous round
+// loop concurrently on the event simulator, each round training from the
+// freshest global model at ITS start; folds land at each tier's own
+// completion time.
+
+type tierPacer struct{}
+
+func (tierPacer) Run(rs *runState) error {
+	tsel, ok := rs.sel.(TierSelector)
+	if !ok {
+		return fmt.Errorf("tier pacing needs a tier selector, %q is not one", rs.method.Select)
+	}
+	tiers, err := rs.Tiers()
+	if err != nil {
+		return err
+	}
+	cfg := rs.env.Cfg
+	sim := simnet.New()
+	done := false
+	var runErr error
+	finish := func() {
+		done = true
+		sim.Stop()
+	}
+
+	var tierRound func(m int)
+	tierRound = func(m int) {
+		if done {
+			return
+		}
+		now := sim.Now()
+		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+			finish()
+			return
+		}
+		cohort := tsel.PickTier(rs, m, now)
+		if len(cohort) == 0 {
+			return // the whole tier is offline; it leaves the training
+		}
+		round := rs.rule.Rounds()
+		rs.emit(RoundStartEvent{Tier: m, Round: round, Time: now, Clients: cohort})
+		results := rs.env.trainGroup(cohort, now, rs.rule.Global(), rs.comm, rs.localConfig(uint64(round)))
+		rs.emitClientDones(m, results)
+		kept, comp := tsel.Harvest(rs, results)
+		sim.At(comp, func() {
+			if done {
+				return
+			}
+			if len(kept) > 0 {
+				g, err := rs.rule.Fold(Fold{Tier: m, Updates: toUpdates(kept), StartRound: round})
+				if err != nil {
+					runErr = err
+					finish()
+					return
+				}
+				t := rs.rule.Rounds()
+				rs.emit(TierFoldEvent{Tier: m, Round: t, Time: sim.Now(), Kept: len(kept)})
+				rs.maybeEval(t, sim.Now(), g)
+				if t >= cfg.Rounds {
+					finish()
+					return
+				}
+			}
+			tierRound(m)
+		})
+	}
+	for m := 0; m < tiers.M(); m++ {
+		tierRound(m)
+	}
+	sim.Run()
+	return runErr
+}
+
+// ---------------------------------------------------------------------------
+// client: the wait-free regime — every client trains continuously; each
+// arrival folds immediately and the fresh model returns to that client
+// alone. With the whole population talking to the server at once, the
+// shared server links become the bottleneck the paper demonstrates.
+
+type clientPacer struct{}
+
+func (clientPacer) Run(rs *runState) error {
+	if _, ok := rs.sel.(FreeSelector); !ok {
+		return fmt.Errorf("client pacing performs no cohort selection, so selector %q would be ignored; use \"all\"", rs.method.Select)
+	}
+	cfg := rs.env.Cfg
+	sim := simnet.New()
+	done := false
+	var runErr error
+
+	var startClient func(c *Client)
+	startClient = func(c *Client) {
+		if done {
+			return
+		}
+		now := sim.Now()
+		if !c.Runtime.Available(now) {
+			return
+		}
+		startRound := rs.rule.Rounds()
+		wRecv, downBytes := rs.comm.Transmit(rs.rule.Global(), false)
+		downDone := rs.env.Cluster.DownloadArrival(now, c.Runtime, downBytes)
+		w, steps := c.TrainLocal(wRecv, rs.localConfig(uint64(startRound)))
+		computeDone := downDone + c.Runtime.ComputeTime(steps) + c.Runtime.RoundDelay()
+		if !c.Runtime.Available(computeDone) {
+			rs.emit(ClientDoneEvent{Client: c.ID, Tier: -1, Time: computeDone, Dropped: true})
+			return // dropped mid-round; the update is lost
+		}
+		wUp, upBytes := rs.comm.Transmit(w, true)
+		arrive := rs.env.Cluster.UploadArrival(computeDone, c.Runtime, upBytes)
+		sim.At(arrive, func() {
+			if done {
+				return
+			}
+			rs.emit(ClientDoneEvent{Client: c.ID, Tier: -1, Time: arrive})
+			update := core.ClientUpdate{Weights: wUp, N: c.Data.NumTrain(), Client: c.ID}
+			g, err := rs.rule.Fold(Fold{Tier: -1, Updates: []core.ClientUpdate{update}, StartRound: startRound})
+			if err != nil {
+				runErr = err
+				done = true
+				sim.Stop()
+				return
+			}
+			t := rs.rule.Rounds()
+			rs.emit(TierFoldEvent{Tier: -1, Round: t, Time: sim.Now(), Kept: 1})
+			rs.maybeEval(t, sim.Now(), g)
+			if t >= cfg.Rounds || (cfg.MaxSimTime > 0 && sim.Now() >= cfg.MaxSimTime) {
+				done = true
+				sim.Stop()
+				return
+			}
+			startClient(c)
+		})
+	}
+	for _, c := range rs.env.Clients {
+		startClient(c)
+	}
+	sim.Run()
+	return runErr
+}

@@ -1,0 +1,35 @@
+package fl
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tiering"
+)
+
+// ProfileTiers runs the tiering module over the clients' profiled response
+// latencies (compute for a nominal round plus mean injected delay) — shared
+// by TiFL and FedAT, which reuses TiFL's tiering approach (§2.1). When
+// MisTierFrac > 0 that fraction of the profiles is replaced with random
+// values, modelling the mis-profiling §2.1 describes ("a portion of clients
+// are incorrectly profiled and assigned to a wrong tier").
+func ProfileTiers(env *Env) (*tiering.Tiers, error) {
+	lc := env.LocalConfig(0, 0)
+	lat := make([]float64, len(env.Clients))
+	lo, hi := 1e300, 0.0
+	for i, c := range env.Clients {
+		lat[i] = c.Runtime.ExpectedLatency(lc.Steps(c.Data.NumTrain()))
+		if lat[i] < lo {
+			lo = lat[i]
+		}
+		if lat[i] > hi {
+			hi = lat[i]
+		}
+	}
+	if f := env.Cfg.MisTierFrac; f > 0 {
+		r := rng.New(env.Cfg.Seed).SplitLabeled(hashName("mistier"))
+		n := int(f * float64(len(lat)))
+		for _, i := range r.Choose(len(lat), n) {
+			lat[i] = r.Uniform(lo, hi) // profile scrambled within range
+		}
+	}
+	return tiering.Partition(lat, env.Cfg.NumTiers)
+}

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -122,49 +121,7 @@ func completionTime(results []trainResult) float64 {
 func toUpdates(results []trainResult) []core.ClientUpdate {
 	ups := make([]core.ClientUpdate, 0, len(results))
 	for _, r := range results {
-		ups = append(ups, core.ClientUpdate{Weights: r.weights, N: r.n})
+		ups = append(ups, core.ClientUpdate{Weights: r.weights, N: r.n, Client: r.client.ID})
 	}
 	return ups
-}
-
-// recorder bundles the evaluation cadence shared by all runners.
-type recorder struct {
-	env    *Env
-	comm   *Comm
-	run    *metrics.Run
-	nextAt int // next global round to evaluate at
-}
-
-func newRecorder(env *Env, comm *Comm, method string) *recorder {
-	return &recorder{
-		env:  env,
-		comm: comm,
-		run:  &metrics.Run{Method: method, Dataset: env.Fed.Name},
-	}
-}
-
-// maybeEval evaluates the model at the configured cadence.
-func (rec *recorder) maybeEval(round int, now float64, w []float64) {
-	if round < rec.nextAt {
-		return
-	}
-	rec.nextAt = round + rec.env.Cfg.EvalEvery
-	res := rec.env.Eval.Evaluate(w)
-	rec.run.Add(metrics.Point{
-		Round:     round,
-		Time:      now,
-		UpBytes:   rec.comm.Up,
-		DownBytes: rec.comm.Down,
-		Acc:       res.Acc,
-		Loss:      res.Loss,
-		Var:       res.Variance,
-	})
-}
-
-// finish stamps the totals.
-func (rec *recorder) finish(rounds int) *metrics.Run {
-	rec.run.UpBytes = rec.comm.Up
-	rec.run.DownBytes = rec.comm.Down
-	rec.run.GlobalRounds = rounds
-	return rec.run
 }

@@ -1,0 +1,261 @@
+package fl
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tiering"
+)
+
+// Selector is the client-selection policy of a method. Every selector
+// implements Init; the pacing-specific capabilities are the two optional
+// interfaces below, and a pacer validates at run start that its selector
+// provides the capability it needs.
+type Selector interface {
+	// Init prepares per-run state: selectors split their RNG streams off
+	// rs.root here so their randomness is independent of every other
+	// policy's.
+	Init(rs *runState) error
+}
+
+// RoundSelector drives synchronous pacing: it picks one cohort per round
+// and decides which of the round's results count.
+type RoundSelector interface {
+	Selector
+	// Pick selects the next round's cohort at virtual time now. It may
+	// advance the clock past selection bookkeeping (TiFL's accuracy
+	// refresh costs real communication) and reports the training tier the
+	// cohort belongs to (-1 when the selector is untiered; tier-aware
+	// update rules then route each update by its client's profiled tier).
+	Pick(rs *runState, now float64) (sel []int, tier int, newNow float64, outcome SelectOutcome)
+	// Harvest filters the round's results down to the updates that count
+	// and returns the round's completion time — over-selection keeps only
+	// the earliest arrivals, so the straggler tail stops gating the clock.
+	Harvest(rs *runState, results []trainResult) (kept []trainResult, now float64)
+}
+
+// TierSelector drives tier pacing: each tier's loop asks for a cohort
+// within that tier.
+type TierSelector interface {
+	Selector
+	// PickTier samples a cohort from tier m at virtual time now (nil when
+	// the tier has no available clients).
+	PickTier(rs *runState, m int, now float64) []int
+	// Harvest plays the same role as RoundSelector.Harvest for one tier's
+	// round.
+	Harvest(rs *runState, results []trainResult) (kept []trainResult, now float64)
+}
+
+// SelectOutcome is a RoundSelector's verdict for one pacing attempt.
+type SelectOutcome int
+
+const (
+	// SelectOK: a cohort was picked; train it.
+	SelectOK SelectOutcome = iota
+	// SelectSkip: nothing selectable this attempt (e.g. the picked tier is
+	// offline) but other attempts may succeed; consume an attempt and
+	// retry.
+	SelectSkip
+	// SelectStop: the population is exhausted; end the run.
+	SelectStop
+)
+
+// Selectors is the registry of selection policies.
+var Selectors = map[string]func() Selector{
+	"random":  func() Selector { return &randomSelector{} },
+	"oversel": func() Selector { return &overselSelector{} },
+	"tifl":    func() Selector { return &tiflSelector{} },
+	"all":     func() Selector { return allSelector{} },
+}
+
+// ---------------------------------------------------------------------------
+// random: sample ClientsPerRound uniformly from the available population
+// (FedAvg's selection); within a tier, sample from the tier's members with
+// that tier's own stream (FedAT's per-tier rounds).
+
+type randomSelector struct {
+	all     []int
+	selRNG  *rng.RNG
+	root    *rng.RNG
+	tierRNG []*rng.RNG
+}
+
+func (s *randomSelector) Init(rs *runState) error {
+	s.all = allClientIDs(rs.env)
+	s.root = rs.root
+	s.selRNG = rs.root.SplitLabeled(1)
+	return nil
+}
+
+func (s *randomSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome) {
+	sel := selectAvailable(s.selRNG, s.all, rs.env.Clients, now, rs.env.Cfg.ClientsPerRound)
+	if len(sel) == 0 {
+		return nil, -1, now, SelectStop // everyone is offline; training cannot continue
+	}
+	return sel, -1, now, SelectOK
+}
+
+func (s *randomSelector) PickTier(rs *runState, m int, now float64) []int {
+	return selectAvailable(s.tierStream(m), rs.tiers.Members[m], rs.env.Clients, now, rs.env.Cfg.ClientsPerRound)
+}
+
+// tierStream lazily derives tier m's RNG stream, labelled by tier index —
+// the label scheme FedAT has always used.
+func (s *randomSelector) tierStream(m int) *rng.RNG {
+	for len(s.tierRNG) <= m {
+		s.tierRNG = append(s.tierRNG, s.root.SplitLabeled(uint64(len(s.tierRNG))))
+	}
+	return s.tierRNG[m]
+}
+
+func (s *randomSelector) Harvest(rs *runState, results []trainResult) ([]trainResult, float64) {
+	return survivors(results), completionTime(results)
+}
+
+// ---------------------------------------------------------------------------
+// oversel: Bonawitz et al.'s over-selection — select 130% of the target
+// cohort, count only the earliest ~77% of surviving arrivals, so stragglers
+// stop gating rounds at the cost of discarded work.
+
+const overFactor = 1.3
+
+type overselSelector struct {
+	randomSelector // reuses the population/tier sampling streams
+}
+
+func (s *overselSelector) overCount(rs *runState) int {
+	return int(float64(rs.env.Cfg.ClientsPerRound)*overFactor + 0.5)
+}
+
+func (s *overselSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome) {
+	sel := selectAvailable(s.selRNG, s.all, rs.env.Clients, now, s.overCount(rs))
+	if len(sel) == 0 {
+		return nil, -1, now, SelectStop
+	}
+	return sel, -1, now, SelectOK
+}
+
+func (s *overselSelector) PickTier(rs *runState, m int, now float64) []int {
+	return selectAvailable(s.tierStream(m), rs.tiers.Members[m], rs.env.Clients, now, s.overCount(rs))
+}
+
+func (s *overselSelector) Harvest(rs *runState, results []trainResult) ([]trainResult, float64) {
+	surv := survivors(results)
+	if len(surv) == 0 {
+		return nil, completionTime(results)
+	}
+	// Keep the earliest arrivals up to the target count; the rest are
+	// received later but ignored (their bytes were already counted).
+	keep := rs.env.Cfg.ClientsPerRound
+	if keep > len(surv) {
+		keep = len(surv)
+	}
+	sortByArrival(surv)
+	kept := surv[:keep]
+	return kept, completionTime(kept)
+}
+
+// sortByArrival orders results by server arrival time (stable insertion
+// sort: the slices are ~13 elements).
+func sortByArrival(rs []trainResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].arrive < rs[j-1].arrive; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// tifl: Chai et al.'s adaptive credit-based tier selection — pick ONE tier
+// per round (probability inversely proportional to its test accuracy,
+// bounded by credits), sample clients within it, and periodically pay for
+// an accuracy refresh with real communication.
+
+type tiflSelector struct {
+	sel     *tiering.TiFLSelector
+	tierRNG *rng.RNG
+	selRNG  *rng.RNG
+}
+
+func (s *tiflSelector) Init(rs *runState) error {
+	tiers, err := rs.Tiers()
+	if err != nil {
+		return err
+	}
+	cfg := rs.env.Cfg
+	s.sel = tiering.NewTiFLSelector(tiers.M(), cfg.TiFLCredits, cfg.TiFLInterval)
+	s.tierRNG = rs.root.SplitLabeled(1)
+	s.selRNG = rs.root.SplitLabeled(2)
+	return nil
+}
+
+func (s *tiflSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome) {
+	if s.sel.NeedsAccuracyRefresh() {
+		now = tiflAccuracyRefresh(rs.env, rs.comm, rs.rule.Global(), rs.tiers, s.sel, now)
+	}
+	tier := s.sel.Select(s.tierRNG)
+	sel := selectAvailable(s.selRNG, rs.tiers.Members[tier], rs.env.Clients, now, rs.env.Cfg.ClientsPerRound)
+	if len(sel) == 0 {
+		return nil, 0, now, SelectSkip // tier fully offline; the selector will pick others
+	}
+	return sel, tier, now, SelectOK
+}
+
+func (s *tiflSelector) Harvest(rs *runState, results []trainResult) ([]trainResult, float64) {
+	return survivors(results), completionTime(results)
+}
+
+// tiflAccuracyRefresh models TiFL's adaptive-selection bookkeeping: the
+// current model is downloaded to every available client, each evaluates
+// locally and uploads its test accuracy (a small control message). The
+// refresh costs real communication (model bytes × clients) and real time
+// (the transfers serialize on the server downlink).
+func tiflAccuracyRefresh(env *Env, comm *Comm, global []float64, tiers *tiering.Tiers, selector *tiering.TiFLSelector, now float64) float64 {
+	const accMsgBytes = 32
+	latest := now
+	accs := make([]float64, tiers.M())
+	for m, members := range tiers.Members {
+		online := members[:0:0]
+		for _, id := range members {
+			c := env.Clients[id]
+			if !c.Runtime.Available(now) {
+				continue
+			}
+			online = append(online, id)
+			_, bytes := comm.Transmit(global, false)
+			done := env.Cluster.DownloadArrival(now, c.Runtime, bytes)
+			comm.CountControl(accMsgBytes, true)
+			done = env.Cluster.UploadArrival(done, c.Runtime, accMsgBytes)
+			if done > latest {
+				latest = done
+			}
+		}
+		accs[m] = env.Eval.EvaluateSubset(global, online)
+	}
+	selector.UpdateAccuracies(accs)
+	return latest
+}
+
+// ---------------------------------------------------------------------------
+// all: no selection at all — the wait-free client loops train the whole
+// population continuously.
+
+// FreeSelector marks selectors compatible with wait-free client pacing,
+// which performs no cohort selection at all. The client pacer rejects any
+// other selector rather than silently ignoring it.
+type FreeSelector interface {
+	Selector
+	freeRunning()
+}
+
+type allSelector struct{}
+
+func (allSelector) Init(*runState) error { return nil }
+func (allSelector) freeRunning()         {}
+
+// allClientIDs lists every client id.
+func allClientIDs(env *Env) []int {
+	all := make([]int, len(env.Clients))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

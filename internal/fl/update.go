@@ -1,0 +1,227 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Fold is one batch of client updates arriving at the server: the tier they
+// trained in, and the global update count when their training started (the
+// staleness anchor for asynchronous rules).
+type Fold struct {
+	Tier       int
+	Updates    []core.ClientUpdate
+	StartRound int
+}
+
+// UpdateRule is the aggregation policy of a method: it owns the server-side
+// model state, hands out download snapshots, and folds arrived updates into
+// a new global model.
+type UpdateRule interface {
+	// Init allocates the per-run server state.
+	Init(rs *runState) error
+	// Global returns the current global model for download. The slice may
+	// alias internal state: callers must encode or copy it immediately and
+	// never mutate it.
+	Global() []float64
+	// Rounds returns t, the number of global updates folded so far.
+	Rounds() int
+	// Fold incorporates one batch of client updates and returns the fresh
+	// global model (aliasing rules as for Global).
+	Fold(f Fold) ([]float64, error)
+}
+
+// UpdateRules is the registry of aggregation policies.
+var UpdateRules = map[string]func() UpdateRule{
+	"avg":       func() UpdateRule { return &avgRule{} },
+	"eq5":       func() UpdateRule { return &eq5Rule{} },
+	"uniform":   func() UpdateRule { return &eq5Rule{forceUniform: true} },
+	"staleness": func() UpdateRule { return &stalenessRule{} },
+	"asofed":    func() UpdateRule { return &asoRule{} },
+}
+
+// ---------------------------------------------------------------------------
+// avg: FedAvg's n_k-weighted mean. A single-tier FedAT aggregator is exactly
+// that average (§4.1: "with λ=0 and one tier, FedAT becomes FedAvg"), so the
+// same core drives the synchronous baselines; whatever tier the selector
+// reports, updates fold into the one tier.
+
+type avgRule struct {
+	agg *core.Aggregator
+}
+
+func (r *avgRule) Init(rs *runState) error {
+	agg, err := core.NewAggregator(1, rs.env.InitialWeights(), true)
+	if err != nil {
+		return err
+	}
+	r.agg = agg
+	return nil
+}
+
+func (r *avgRule) Global() []float64 { return r.agg.Global() }
+func (r *avgRule) Rounds() int       { return r.agg.Rounds() }
+
+func (r *avgRule) Fold(f Fold) ([]float64, error) {
+	return r.agg.UpdateTier(0, f.Updates)
+}
+
+// ---------------------------------------------------------------------------
+// eq5: FedAT's cross-tier fold — one model per tier, global model the Eq. 5
+// update-count-weighted average (uniform weights under cfg.UniformAgg or the
+// "uniform" registry key, the Figure 6 ablation). Tier count comes from the
+// profiled latency partition.
+
+type eq5Rule struct {
+	agg          *core.Aggregator
+	assignment   []int // client id → tier, for folds that don't name a tier
+	forceUniform bool
+}
+
+func (r *eq5Rule) Init(rs *runState) error {
+	tiers, err := rs.Tiers()
+	if err != nil {
+		return err
+	}
+	weighted := !rs.env.Cfg.UniformAgg && !r.forceUniform
+	agg, err := core.NewAggregator(tiers.M(), rs.env.InitialWeights(), weighted)
+	if err != nil {
+		return err
+	}
+	r.agg = agg
+	r.assignment = tiers.Assignment
+	return nil
+}
+
+func (r *eq5Rule) Global() []float64 { return r.agg.Global() }
+func (r *eq5Rule) Rounds() int       { return r.agg.Rounds() }
+
+func (r *eq5Rule) Fold(f Fold) ([]float64, error) {
+	if f.Tier >= 0 {
+		return r.agg.UpdateTier(f.Tier, f.Updates)
+	}
+	// Untiered fold (tier -1: the wait-free client loops, or a sync
+	// selector with no tier concept): route each update into its client's
+	// profiled tier, so the Eq. 5 weighting still sees a per-tier update
+	// stream. Groups fold in first-seen order — deterministic, since the
+	// update order is.
+	var g []float64
+	var order []int
+	byTier := map[int][]core.ClientUpdate{}
+	for _, u := range f.Updates {
+		if u.Client < 0 || u.Client >= len(r.assignment) {
+			return nil, fmt.Errorf("eq5 fold: client %d out of range [0,%d)", u.Client, len(r.assignment))
+		}
+		t := r.assignment[u.Client]
+		if _, ok := byTier[t]; !ok {
+			order = append(order, t)
+		}
+		byTier[t] = append(byTier[t], u)
+	}
+	for _, t := range order {
+		var err error
+		if g, err = r.agg.UpdateTier(t, byTier[t]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ---------------------------------------------------------------------------
+// staleness: Xie et al.'s FedAsync mixing — each arriving update is blended
+// into the global model with weight α_t = α·(staleness+1)^(−a), staleness
+// measured in global updates since the client downloaded its snapshot.
+
+type stalenessRule struct {
+	global  []float64
+	version int
+	alpha   float64
+	exp     float64
+}
+
+func (r *stalenessRule) Init(rs *runState) error {
+	r.global = rs.env.InitialWeights()
+	r.alpha = rs.env.Cfg.AsyncAlpha
+	r.exp = rs.env.Cfg.AsyncStaleExp
+	return nil
+}
+
+func (r *stalenessRule) Global() []float64 { return r.global }
+func (r *stalenessRule) Rounds() int       { return r.version }
+
+func (r *stalenessRule) Fold(f Fold) ([]float64, error) {
+	if len(f.Updates) == 0 {
+		return nil, fmt.Errorf("staleness fold with no client updates")
+	}
+	for _, u := range f.Updates {
+		if len(u.Weights) != len(r.global) {
+			return nil, fmt.Errorf("staleness fold: update has %d weights, want %d", len(u.Weights), len(r.global))
+		}
+		staleness := float64(r.version - f.StartRound)
+		alpha := r.alpha * math.Pow(staleness+1, -r.exp)
+		tensor.Lerp(r.global, u.Weights, alpha)
+	}
+	r.version++
+	return r.global, nil
+}
+
+// ---------------------------------------------------------------------------
+// asofed: Chen et al.'s ASO-Fed server — a per-client model copy and a
+// running n_k-weighted sum, so each arrival updates the global average in
+// O(params) instead of O(clients·params).
+
+type asoRule struct {
+	copies  [][]float64
+	copySum []float64
+	global  []float64
+	totalN  int
+	version int
+}
+
+func (r *asoRule) Init(rs *runState) error {
+	env := rs.env
+	r.global = env.InitialWeights()
+	r.copies = make([][]float64, len(env.Clients))
+	r.copySum = make([]float64, len(r.global))
+	for i, c := range env.Clients {
+		r.copies[i] = env.InitialWeights()
+		n := c.Data.NumTrain()
+		r.totalN += n
+		tensor.Axpy(float64(n), r.copies[i], r.copySum)
+	}
+	for i := range r.global {
+		r.global[i] = r.copySum[i] / float64(r.totalN)
+	}
+	return nil
+}
+
+func (r *asoRule) Global() []float64 { return r.global }
+func (r *asoRule) Rounds() int       { return r.version }
+
+func (r *asoRule) Fold(f Fold) ([]float64, error) {
+	if len(f.Updates) == 0 {
+		return nil, fmt.Errorf("asofed fold with no client updates")
+	}
+	for _, u := range f.Updates {
+		if u.Client < 0 || u.Client >= len(r.copies) {
+			return nil, fmt.Errorf("asofed fold: client %d out of range [0,%d)", u.Client, len(r.copies))
+		}
+		if len(u.Weights) != len(r.global) {
+			return nil, fmt.Errorf("asofed fold: update has %d weights, want %d", len(u.Weights), len(r.global))
+		}
+		n := float64(u.N)
+		old := r.copies[u.Client]
+		for i := range r.copySum {
+			r.copySum[i] += n * (u.Weights[i] - old[i])
+		}
+		r.copies[u.Client] = u.Weights
+	}
+	for i := range r.global {
+		r.global[i] = r.copySum[i] / float64(r.totalN)
+	}
+	r.version++
+	return r.global, nil
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/util"
 )
 
@@ -76,9 +77,38 @@ func ParseSeriesCSV(r io.Reader) (Series, error) {
 	return s, nil
 }
 
+// WriteRunCSV emits a run's evaluation points as CSV (one row per point),
+// the format the plotting scripts and spreadsheet users consume. Columns:
+// round, time_s, up_bytes, down_bytes, acc, loss, var.
+func WriteRunCSV(w io.Writer, r *metrics.Run) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "time_s", "up_bytes", "down_bytes", "acc", "loss", "var"}); err != nil {
+		return fmt.Errorf("report: write run csv header: %w", err)
+	}
+	for _, p := range r.Points {
+		row := []string{
+			fmt.Sprint(p.Round),
+			fmt.Sprintf("%.3f", p.Time),
+			fmt.Sprint(p.UpBytes),
+			fmt.Sprint(p.DownBytes),
+			fmt.Sprintf("%.6f", p.Acc),
+			fmt.Sprintf("%.6f", p.Loss),
+			fmt.Sprintf("%.8f", p.Var),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: write run csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flush run csv: %w", err)
+	}
+	return nil
+}
+
 // WriteCSVDir writes the report's machine-readable pieces into dir — one
 // file per table artifact, one per series artifact, and one full
-// evaluation dump per kept run (via metrics.WriteCSV) — and returns the
+// evaluation dump per kept run (via WriteRunCSV) — and returns the
 // file names written, in order.
 func WriteCSVDir(dir string, r *Report) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -120,7 +150,7 @@ func WriteCSVDir(dir string, r *Report) ([]string, error) {
 	for _, key := range util.SortedKeys(r.Runs) {
 		run := r.Runs[key]
 		name := fmt.Sprintf("%s__run_%s.csv", r.ID, Slug(key))
-		if err := emit(name, run.WriteCSV); err != nil {
+		if err := emit(name, func(w io.Writer) error { return WriteRunCSV(w, run) }); err != nil {
 			return written, err
 		}
 	}

@@ -191,6 +191,39 @@ func TestTableCellValues(t *testing.T) {
 	}
 }
 
+// TestWriteRunCSV pins the per-run evaluation dump format (migrated from
+// the deleted internal/metrics CSV writer, byte-for-byte).
+func TestWriteRunCSV(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := WriteRunCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(r.Points)+1 {
+		t.Fatalf("run csv has %d rows, want %d", len(lines), len(r.Points)+1)
+	}
+	if lines[0] != "round,time_s,up_bytes,down_bytes,acc,loss,var" {
+		t.Fatalf("run csv header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0.000,0,0,0.100000,") {
+		t.Fatalf("first data row wrong: %q", lines[1])
+	}
+	for i, ln := range lines[1:] {
+		if cells := strings.Count(ln, ",") + 1; cells != 7 {
+			t.Fatalf("row %d has %d cells: %q", i, cells, ln)
+		}
+	}
+
+	var empty bytes.Buffer
+	if err := WriteRunCSV(&empty, &metrics.Run{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(empty.String(), "\n"); got != 1 {
+		t.Fatalf("empty run csv has %d lines, want header only", got)
+	}
+}
+
 // TestSeriesCSVRoundTrip is the metrics→series→csv→points loop: a run's
 // derived series survive CSV emission exactly.
 func TestSeriesCSVRoundTrip(t *testing.T) {
