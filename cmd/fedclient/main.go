@@ -1,6 +1,8 @@
 // Command fedclient joins a fedserver as one federated participant: it
 // derives its local shard of the synthetic federation from the shared
-// flags, then trains whenever the server pushes the global model.
+// flags, then trains whenever the server pushes the global model. Local
+// training settings (epochs, batch size, proximal λ) arrive with each push
+// — the server's method composition decides them, not client flags.
 package main
 
 import (
@@ -9,6 +11,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -25,10 +28,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "shared seed (must match the server)")
 		latency = flag.Int("latency", 100, "latency hint in ms (drives tiering)")
 		delayMs = flag.Int("delay", 0, "artificial per-round delay in ms (straggler emulation)")
-		epochs  = flag.Int("epochs", 3, "local epochs per round")
-		batch   = flag.Int("batch", 10, "local batch size")
-		lambda  = flag.Float64("lambda", 0.4, "proximal coefficient (Eq. 3)")
-		lr      = flag.Float64("lr", 0.005, "local learning rate (Adam)")
+		// 0.01 matches fl.RunConfig's LearningRate default, so a default
+		// fedserver+fedclient deployment trains with the same local solver
+		// as a default simulator run. The optimizer stays client-side by
+		// design (clients own their solver state); keep this aligned with
+		// the server's RunConfig when comparing fabrics.
+		lr   = flag.Float64("lr", 0.01, "local learning rate (Adam); match the simulator's LearningRate for cross-fabric comparisons")
+		prec = flag.Int("precision", 4, "polyline upload compression precision (<=0 = raw; must match the server)")
 	)
 	flag.Parse()
 
@@ -39,6 +45,10 @@ func main() {
 	if *id < 0 || *id >= len(fed.Clients) {
 		log.Fatalf("fedclient: id %d out of range [0,%d)", *id, len(fed.Clients))
 	}
+	var wire codec.Codec = codec.Raw{}
+	if *prec > 0 {
+		wire = codec.NewPolyline(*prec)
+	}
 	net := nn.NewMLP(rng.New(*seed), fed.InDim, 16, fed.Classes)
 	err = transport.RunClient(transport.ClientConfig{
 		Addr:            *addr,
@@ -48,9 +58,7 @@ func main() {
 		Data:            fed.Clients[*id],
 		Net:             net,
 		Opt:             opt.NewAdam(*lr),
-		Epochs:          *epochs,
-		BatchSize:       *batch,
-		Lambda:          *lambda,
+		Codec:           wire,
 		Seed:            *seed,
 		Logf:            log.Printf,
 	})

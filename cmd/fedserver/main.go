@@ -1,13 +1,20 @@
-// Command fedserver runs a FedAT aggregation server over real TCP. Pair it
-// with cmd/fedclient processes (same -dataset/-clients/-seed flags so every
-// party derives the same synthetic federation and model architecture).
+// Command fedserver runs a federated aggregation server over real TCP,
+// driven by the same pluggable policy engine as the simulator: any registry
+// method (-method) or novel composition (-select/-pacer/-agg overrides)
+// deploys unchanged. Pair it with cmd/fedclient processes (same
+// -dataset/-clients/-seed flags so every party derives the same synthetic
+// federation and model architecture).
 //
-// Example (one server, six clients, two tiers):
+// Examples (one server, six clients, two tiers):
 //
-//	fedserver -addr :7070 -clients 6 -tiers 2 -rounds 20 &
+//	fedserver -addr :7070 -method fedat -clients 6 -tiers 2 -rounds 20 &
 //	for i in $(seq 0 5); do
 //	  fedclient -addr 127.0.0.1:7070 -id $i -clients 6 -latency $((100 + i*200)) &
 //	done
+//
+//	fedserver -method fedavg ...            # synchronous FedAvg over TCP
+//	fedserver -method fedasync ...          # wait-free client loops over TCP
+//	fedserver -method fedat -select oversel # over-selection inside FedAT's tiers
 package main
 
 import (
@@ -15,9 +22,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
+	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/transport"
@@ -29,17 +38,35 @@ func main() {
 		clients  = flag.Int("clients", 6, "registrations to wait for")
 		tiers    = flag.Int("tiers", 2, "number of latency tiers")
 		rounds   = flag.Int("rounds", 20, "global update budget")
-		perRound = flag.Int("k", 3, "clients per tier round")
+		perRound = flag.Int("k", 3, "clients per round (per tier round for tier pacing)")
 		ds       = flag.String("dataset", "fashion", "dataset: fashion or cifar10")
 		seed     = flag.Uint64("seed", 1, "shared seed (must match clients)")
-		prec     = flag.Int("precision", 4, "polyline compression precision")
-		uniform  = flag.Bool("uniform", false, "uniform aggregation instead of Eq. 5 weighting")
+		prec     = flag.Int("precision", 4, "polyline compression precision (<=0 = raw)")
+		epochs   = flag.Int("epochs", 3, "local epochs per round (shipped to clients)")
+		batch    = flag.Int("batch", 10, "local batch size (shipped to clients)")
+		lambda   = flag.Float64("lambda", 0.4, "proximal coefficient for Prox methods (Eq. 3)")
+
+		// Method composition, mirroring fedsim -compose.
+		method  = flag.String("method", "fedat", "registry method to run: "+strings.Join(fl.MethodNames(), ", "))
+		selName = flag.String("select", "", "override the selection policy: random, oversel, tifl, all")
+		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client")
+		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed")
+		name    = flag.String("name", "", "display name for the composed method")
 	)
 	flag.Parse()
+
+	m, err := fl.Compose(*method, *selName, *pacer, *agg, *name)
+	if err != nil {
+		log.Fatal("fedserver: ", err)
+	}
 
 	fed, factory, err := buildFederation(*ds, *clients, *seed)
 	if err != nil {
 		log.Fatal("fedserver: ", err)
+	}
+	var wire codec.Codec = codec.Raw{}
+	if *prec > 0 {
+		wire = codec.NewPolyline(*prec)
 	}
 	ref := factory(*seed)
 	shapes := make([]codec.ShapeInfo, 0)
@@ -47,23 +74,33 @@ func main() {
 		shapes = append(shapes, codec.ShapeInfo{Name: s.Name, Dims: s.Dims})
 	}
 	srv, err := transport.NewServer(transport.ServerConfig{
-		Addr:            *addr,
-		NumClients:      *clients,
-		NumTiers:        *tiers,
-		Rounds:          *rounds,
-		ClientsPerRound: *perRound,
-		Weighted:        !*uniform,
-		Codec:           codec.NewPolyline(*prec),
-		Shapes:          shapes,
-		W0:              ref.WeightsCopy(),
-		Seed:            *seed,
-		Logf:            log.Printf,
+		Addr:       *addr,
+		NumClients: *clients,
+		Method:     m,
+		Run: fl.RunConfig{
+			Rounds:          *rounds,
+			ClientsPerRound: *perRound,
+			NumTiers:        *tiers,
+			LocalEpochs:     *epochs,
+			BatchSize:       *batch,
+			Lambda:          *lambda,
+			Codec:           wire,
+			Seed:            *seed,
+		},
+		Shapes:  shapes,
+		W0:      ref.WeightsCopy(),
+		Dataset: fed.Name,
+		// The server mirrors the federation from the shared seed, so it can
+		// evaluate the global model (and feed TiFL's accuracy-driven
+		// selection) without extra client traffic.
+		Eval: fl.NewDataEvaluator(factory, *seed, fed.Clients),
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatal("fedserver: ", err)
 	}
-	log.Printf("fedserver: listening on %s for %d clients", srv.Addr(), *clients)
-	final, err := srv.Run()
+	log.Printf("fedserver: listening on %s for %d clients, method %s (%s)", srv.Addr(), *clients, m.Name, m)
+	run, final, err := srv.Run()
 	if err != nil {
 		log.Fatal("fedserver: ", err)
 	}
@@ -76,12 +113,14 @@ func main() {
 		correct += cor
 		total += c.NumTest()
 	}
-	fmt.Printf("fedserver: done after %d rounds; tier counts %v; test accuracy %.3f (%d/%d)\n",
-		srv.Aggregator().Rounds(), srv.Aggregator().TierCounts(), float64(correct)/float64(total), correct, total)
+	fmt.Printf("fedserver: %s done after %d global updates; best recorded accuracy %.3f; test accuracy %.3f (%d/%d); %.2f MB up, %.2f MB down\n",
+		run.Method, run.GlobalRounds, run.BestAcc(),
+		float64(correct)/float64(total), correct, total,
+		float64(run.UpBytes)/1e6, float64(run.DownBytes)/1e6)
 	os.Exit(0)
 }
 
-func buildFederation(name string, clients int, seed uint64) (*dataset.Federated, func(uint64) *nn.Network, error) {
+func buildFederation(name string, clients int, seed uint64) (*dataset.Federated, fl.ModelFactory, error) {
 	var fed *dataset.Federated
 	var err error
 	switch name {

@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -213,28 +212,10 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool) int 
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
 		return 2
 	}
-	m, err := fl.Lookup(base)
+	m, err := fl.Compose(base, sel, pacer, agg, name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
 		return 2
-	}
-	var overrides []string
-	if sel != "" {
-		m.Select = sel
-		overrides = append(overrides, "select="+sel)
-	}
-	if pacer != "" {
-		m.Pace = pacer
-		overrides = append(overrides, "pacer="+pacer)
-	}
-	if agg != "" {
-		m.Update = agg
-		overrides = append(overrides, "agg="+agg)
-	}
-	if name != "" {
-		m.Name = name
-	} else if len(overrides) > 0 {
-		m.Name = fmt.Sprintf("%s[%s]", m.Name, strings.Join(overrides, ","))
 	}
 
 	var obs []fl.Observer

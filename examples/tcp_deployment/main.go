@@ -1,6 +1,10 @@
-// TCP deployment: run a real FedAT server and eight clients over localhost
-// TCP in one process — the same code path as cmd/fedserver/cmd/fedclient,
-// demonstrating that the aggregation core deploys outside the simulator.
+// TCP deployment: run a real federated server and eight clients over
+// localhost TCP in one process — the same code path as
+// cmd/fedserver/cmd/fedclient. The server contains no method-specific loop:
+// it hands the internal/fl policy engine a live fabric, so ANY registry
+// method or composed variant deploys unchanged. To make the point, this
+// example runs tier-paced FedAT and then wait-free FedAsync over the very
+// same transport.
 //
 //	go run ./examples/tcp_deployment
 package main
@@ -13,18 +17,20 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
+	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/transport"
 )
 
+const (
+	numClients = 8
+	rounds     = 12
+	seed       = 11
+)
+
 func main() {
-	const (
-		numClients = 8
-		rounds     = 12
-		seed       = 11
-	)
 	fed, err := dataset.FashionLike(numClients, 2, dataset.ScaleSmall, seed)
 	if err != nil {
 		log.Fatal(err)
@@ -32,6 +38,14 @@ func main() {
 	factory := func(s uint64) *nn.Network {
 		return nn.NewMLP(rng.New(s), fed.InDim, 16, fed.Classes)
 	}
+	for _, method := range []string{"fedat", "fedasync"} {
+		deploy(fed, factory, method)
+	}
+}
+
+// deploy runs one registry method over loopback TCP and reports the final
+// model's pooled held-out accuracy.
+func deploy(fed *dataset.Federated, factory fl.ModelFactory, method string) {
 	ref := factory(seed)
 	var shapes []codec.ShapeInfo
 	for _, s := range ref.ParamShapes() {
@@ -39,22 +53,28 @@ func main() {
 	}
 
 	srv, err := transport.NewServer(transport.ServerConfig{
-		Addr:            "127.0.0.1:0",
-		NumClients:      numClients,
-		NumTiers:        3,
-		Rounds:          rounds,
-		ClientsPerRound: 3,
-		Weighted:        true,
-		Codec:           codec.NewPolyline(4),
-		Shapes:          shapes,
-		W0:              ref.WeightsCopy(),
-		Seed:            seed,
-		Logf:            log.Printf,
+		Addr:       "127.0.0.1:0",
+		NumClients: numClients,
+		Method:     fl.Methods[method],
+		Run: fl.RunConfig{
+			Rounds:          rounds,
+			ClientsPerRound: 3,
+			NumTiers:        3,
+			LocalEpochs:     2,
+			BatchSize:       8,
+			Lambda:          0.4,
+			Codec:           codec.NewPolyline(4),
+			Seed:            seed,
+		},
+		Shapes:  shapes,
+		W0:      ref.WeightsCopy(),
+		Dataset: fed.Name,
+		Eval:    fl.NewDataEvaluator(factory, seed, fed.Clients),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("server listening on %s\n", srv.Addr())
+	fmt.Printf("%s server listening on %s\n", method, srv.Addr())
 
 	var wg sync.WaitGroup
 	for i := 0; i < numClients; i++ {
@@ -72,9 +92,6 @@ func main() {
 				Data:            fed.Clients[i],
 				Net:             factory(seed),
 				Opt:             opt.NewAdam(0.01),
-				Epochs:          2,
-				BatchSize:       8,
-				Lambda:          0.4,
 				Seed:            seed,
 			})
 			if err != nil {
@@ -83,7 +100,7 @@ func main() {
 		}(i)
 	}
 
-	final, err := srv.Run()
+	run, final, err := srv.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,8 +115,8 @@ func main() {
 		correct += cor
 		total += c.NumTest()
 	}
-	fmt.Printf("finished %d global rounds over TCP; tier update counts %v\n",
-		srv.Aggregator().Rounds(), srv.Aggregator().TierCounts())
-	fmt.Printf("final model accuracy on held-out data: %.3f (%d/%d)\n",
+	fmt.Printf("%s finished %d global updates over TCP (%.2f MB up)\n",
+		run.Method, run.GlobalRounds, float64(run.UpBytes)/1e6)
+	fmt.Printf("final model accuracy on held-out data: %.3f (%d/%d)\n\n",
 		float64(correct)/float64(total), correct, total)
 }

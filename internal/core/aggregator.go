@@ -3,10 +3,10 @@
 // clients, update counters per tier, and the cross-tier weighted average of
 // Eq. 5 that produces the global model.
 //
-// The aggregator is deliberately independent of any clock or transport: the
-// discrete-event simulator (internal/fl) and the TCP deployment
-// (internal/transport) drive the same code, so simulation results reflect
-// the deployable system.
+// The aggregator is deliberately independent of any clock or transport: it
+// is the server state behind internal/fl's avg and eq5 update rules, and
+// the method engine drives it identically on the simulated fabric and the
+// live TCP fabric, so simulation results reflect the deployable system.
 package core
 
 import (
@@ -16,9 +16,11 @@ import (
 	"repro/internal/tensor"
 )
 
-// Aggregator is FedAT's server state. It is safe for concurrent use: in
-// transport mode every tier's handler goroutine calls UpdateTier, which the
-// paper serializes through the server (Figure 1's aggregation box).
+// Aggregator is FedAT's server state. It is safe for concurrent use
+// (checkpointing and status readers may race the update path), though the
+// method engine serializes UpdateTier calls through its run loop — the
+// paper likewise serializes aggregation through the server (Figure 1's
+// aggregation box).
 type Aggregator struct {
 	mu sync.Mutex
 

@@ -6,8 +6,11 @@
 // registry expresses the seven methods the paper compares (FedAT and the
 // FedAvg, FedProx, TiFL, FedAsync, ASO-Fed and over-selection baselines)
 // as such compositions, and novel variants are just different field
-// values. All methods run on the discrete-event simulator so
-// time-to-accuracy comparisons share one clock and one straggler model.
+// values. The engine is generic over an execution Fabric: Method.Run uses
+// the discrete-event simulator (one clock, one straggler model, bit-exact
+// reproducibility), and Method.RunOn drives the identical policy loop over
+// any other fabric — internal/transport's live TCP deployment being the
+// second.
 package fl
 
 import (

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/codec"
@@ -83,10 +84,7 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.AsyncAlpha <= 0 {
 		c.AsyncAlpha = 0.6
 	}
-	if c.AsyncStaleExp < 0 {
-		c.AsyncStaleExp = 0.5
-	}
-	if c.AsyncStaleExp == 0 {
+	if c.AsyncStaleExp <= 0 {
 		c.AsyncStaleExp = 0.5
 	}
 	if c.TiFLCredits <= 0 {
@@ -221,8 +219,10 @@ func NewComm(c codec.Codec, shapes []codec.ShapeInfo) *Comm {
 
 // Transmit passes w through the lossy channel in the given direction,
 // returning the weights the receiver reconstructs and the marshalled
-// message size in bytes. Byte counters accumulate the size.
-func (cm *Comm) Transmit(w []float64, uplink bool) ([]float64, int) {
+// message size in bytes. Byte counters accumulate the size. A codec that
+// fails to decode its own payload reports an error (propagated out through
+// Method.Run) rather than panicking.
+func (cm *Comm) Transmit(w []float64, uplink bool) ([]float64, int, error) {
 	payload := cm.codec.Encode(w)
 	size := cm.headerBytes + len(payload)
 	if uplink {
@@ -232,11 +232,9 @@ func (cm *Comm) Transmit(w []float64, uplink bool) ([]float64, int) {
 	}
 	out := make([]float64, len(w))
 	if err := cm.codec.Decode(payload, out); err != nil {
-		// The codec round-trips its own output by construction; a failure
-		// here is a programming error, not an I/O condition.
-		panic(fmt.Sprintf("fl: codec %s failed to decode its own payload: %v", cm.codec.Name(), err))
+		return nil, 0, fmt.Errorf("fl: codec %s failed to decode its own payload: %w", cm.codec.Name(), err)
 	}
-	return out, size
+	return out, size, nil
 }
 
 // MessageBytes returns the marshalled size of w without transmitting.
@@ -269,9 +267,11 @@ type Evaluator struct {
 }
 
 // NewEvaluator builds the harness with one model replica per parallel
-// worker.
+// worker. The worker count follows GOMAXPROCS capped by the client count:
+// per-client results are written to disjoint indices and summed in id
+// order afterwards, so the count affects only wall time, never the result.
 func NewEvaluator(factory ModelFactory, seed uint64, clients []*Client) *Evaluator {
-	workers := 4
+	workers := runtime.GOMAXPROCS(0)
 	if len(clients) < workers {
 		workers = len(clients)
 	}
@@ -283,6 +283,17 @@ func NewEvaluator(factory ModelFactory, seed uint64, clients []*Client) *Evaluat
 		e.nets = append(e.nets, factory(seed))
 	}
 	return e
+}
+
+// NewDataEvaluator builds an Evaluator directly over dataset shards, for
+// callers without simulated clients — the live transport's server-side
+// evaluation of a mirrored federation.
+func NewDataEvaluator(factory ModelFactory, seed uint64, shards []*dataset.ClientData) *Evaluator {
+	clients := make([]*Client, len(shards))
+	for i, d := range shards {
+		clients[i] = &Client{ID: i, Data: d}
+	}
+	return NewEvaluator(factory, seed, clients)
 }
 
 // Result is one evaluation of a global model.

@@ -45,6 +45,11 @@ type TierFoldEvent struct {
 	Round int     // global update count after the fold
 	Time  float64 // virtual seconds
 	Kept  int     // client updates that counted
+	// Global is the global model right after this fold (shared with the
+	// engine; read-only, and some update rules reuse the buffer on the
+	// next fold — observers that retain it must copy). The live transport
+	// server uses it to report the final trained model.
+	Global []float64
 }
 
 // EvalEvent fires when the engine evaluated the global model at the

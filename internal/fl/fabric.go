@@ -1,0 +1,148 @@
+package fl
+
+import (
+	"repro/internal/codec"
+	"repro/internal/simnet"
+	"repro/internal/tiering"
+)
+
+// TrainResult is one client's resolved local round as the server observes
+// it: the weights the server reconstructs after the uplink, the client's
+// sample count, and the arrival stamp on the fabric's clock. Dropped marks
+// a client that went offline (or disconnected) before its update landed;
+// Arrive then holds the time the loss was discovered.
+type TrainResult struct {
+	Client  int
+	Weights []float64
+	N       int // n_k, the client's local sample count
+	Steps   int // batch steps executed (simulated fabrics use it for compute time)
+	Arrive  float64
+	Dropped bool
+}
+
+// Fabric is the execution substrate a method runs on — the small surface a
+// Pacer actually touches: dispatch local work to a cohort, observe the
+// arrivals, account communication through Comm, and advance the clock. The
+// engine (Method.RunOn) drives exactly one fabric per run and owns all
+// policy decisions; the fabric owns execution and time.
+//
+// Two implementations exist: the simulated fabric below (virtual clock,
+// lossy-channel modeling, per-round injected delays) and the live TCP
+// fabric in internal/transport (wall clock, real connections). Every policy
+// composition in the registry runs unchanged on both.
+//
+// Threading contract: the engine calls fabric methods only from the clock
+// goroutine (the caller of Run and the callbacks it executes). The fabric
+// must deliver Dispatch results back on that same goroutine.
+type Fabric interface {
+	simnet.Clock
+
+	// Dataset names the training data, for run records.
+	Dataset() string
+	// NumClients is the population size; clients are identified 0..N-1.
+	NumClients() int
+	// SampleCount returns client id's local training-set size n_k.
+	SampleCount(id int) int
+	// Available reports whether client id can take work at time now.
+	Available(id int, now float64) bool
+
+	// InitialWeights returns a fresh copy of the initial global model w0.
+	InitialWeights() []float64
+	// Shapes describes the model's parameter blocks (for the codec).
+	Shapes() []codec.ShapeInfo
+
+	// Partition groups the population into cfg.NumTiers latency tiers —
+	// profiled response times on the simulated fabric, registration
+	// latency hints on the live one.
+	Partition(cfg RunConfig) (*tiering.Tiers, error)
+
+	// Dispatch starts one cohort round at time now from the global
+	// snapshot: ship the model to each client, train locally with lc, and
+	// hand the per-client outcomes (index-aligned with cohort) to deliver.
+	// The fabric decides when deliver runs: the simulated fabric computes
+	// outcomes immediately and calls deliver before Dispatch returns; the
+	// live fabric trains over TCP and calls deliver from the run loop when
+	// the last response resolves. Model bytes are tallied on comm.
+	Dispatch(comm *Comm, cohort []int, now float64, global []float64, lc LocalConfig, deliver func([]TrainResult, error))
+
+	// Probe accounts a control round-trip to each listed client — w
+	// pushed down, a replyBytes-sized answer up (TiFL's accuracy
+	// collection) — and returns the time the last reply lands. The
+	// simulated fabric reserves link capacity; the live fabric only
+	// tallies the bytes and returns now.
+	Probe(comm *Comm, ids []int, now float64, w []float64, replyBytes int) (float64, error)
+
+	// Evaluate measures the global model against the population's held-out
+	// data; ok is false when the fabric has no evaluation harness (a live
+	// server without mirrored data), in which case the engine skips the
+	// Eval event.
+	Evaluate(w []float64) (res Result, ok bool)
+	// EvaluateSubset measures w on a subset of clients (TiFL's per-tier
+	// accuracy collection); fabrics without a harness report 0.
+	EvaluateSubset(w []float64, ids []int) float64
+}
+
+// ---------------------------------------------------------------------------
+// Simulated fabric
+
+// simFabric runs methods on the discrete-event simulator: trainGroup
+// computes each round's outcome synchronously (virtual link reservations,
+// injected delays, the lossy codec channel) and a fresh simnet.Sim is the
+// clock. It is the reference fabric: the bit-pinned golden runs define its
+// behavior.
+type simFabric struct {
+	*simnet.Sim
+	env *Env
+}
+
+// Fabric returns a fresh simulated fabric over the environment. Each call
+// makes a new one (the clock starts at zero), so one Env can back many
+// runs.
+func (e *Env) Fabric() Fabric { return &simFabric{Sim: simnet.New(), env: e} }
+
+func (f *simFabric) Dataset() string { return f.env.Fed.Name }
+func (f *simFabric) NumClients() int { return len(f.env.Clients) }
+func (f *simFabric) SampleCount(id int) int {
+	return f.env.Clients[id].Data.NumTrain()
+}
+func (f *simFabric) Available(id int, now float64) bool {
+	return f.env.Clients[id].Runtime.Available(now)
+}
+func (f *simFabric) InitialWeights() []float64 { return f.env.InitialWeights() }
+func (f *simFabric) Shapes() []codec.ShapeInfo { return f.env.Shapes() }
+
+// Partition profiles the simulated latencies. The environment's own config
+// drives profiling (nominal round length, MisTierFrac corruption), so the
+// cfg parameter is redundant here; it exists for fabrics with no Env.
+func (f *simFabric) Partition(RunConfig) (*tiering.Tiers, error) {
+	return ProfileTiers(f.env)
+}
+
+func (f *simFabric) Dispatch(comm *Comm, cohort []int, now float64, global []float64, lc LocalConfig, deliver func([]TrainResult, error)) {
+	deliver(f.env.trainGroup(cohort, now, global, comm, lc))
+}
+
+func (f *simFabric) Probe(comm *Comm, ids []int, now float64, w []float64, replyBytes int) (float64, error) {
+	latest := now
+	for _, id := range ids {
+		c := f.env.Clients[id]
+		_, bytes, err := comm.Transmit(w, false)
+		if err != nil {
+			return 0, err
+		}
+		done := f.env.Cluster.DownloadArrival(now, c.Runtime, bytes)
+		comm.CountControl(int64(replyBytes), true)
+		done = f.env.Cluster.UploadArrival(done, c.Runtime, replyBytes)
+		if done > latest {
+			latest = done
+		}
+	}
+	return latest, nil
+}
+
+func (f *simFabric) Evaluate(w []float64) (Result, bool) {
+	return f.env.Eval.Evaluate(w), true
+}
+func (f *simFabric) EvaluateSubset(w []float64, ids []int) float64 {
+	return f.env.Eval.EvaluateSubset(w, ids)
+}

@@ -265,12 +265,13 @@ func TestSelectAvailableExcludesDropped(t *testing.T) {
 	env := testEnv(t, 0, cfg)
 	// Force one client offline.
 	env.Clients[3].Runtime.DropAt = 0
+	fab := env.Fabric()
 	ids := []int{3}
-	if got := selectAvailable(rng.New(1), ids, env.Clients, 1, 5); got != nil {
+	if got := selectAvailable(rng.New(1), ids, fab, 1, 5); got != nil {
 		t.Fatalf("dropped client selected: %v", got)
 	}
 	ids = []int{2, 3, 4}
-	got := selectAvailable(rng.New(1), ids, env.Clients, 1, 5)
+	got := selectAvailable(rng.New(1), ids, fab, 1, 5)
 	if len(got) != 2 {
 		t.Fatalf("selection %v, want the two online clients", got)
 	}
@@ -285,7 +286,10 @@ func TestCommAccounting(t *testing.T) {
 	shapes := []codec.ShapeInfo{{Name: "W", Dims: []int{4}}}
 	cm := NewComm(codec.Raw{}, shapes)
 	w := []float64{1, 2, 3, 4}
-	got, n := cm.Transmit(w, true)
+	got, n, err := cm.Transmit(w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != cm.MessageBytes(w) {
 		t.Fatalf("Transmit size %d != MessageBytes %d", n, cm.MessageBytes(w))
 	}
@@ -297,7 +301,9 @@ func TestCommAccounting(t *testing.T) {
 			t.Fatal("raw transmit corrupted weights")
 		}
 	}
-	cm.Transmit(w, false)
+	if _, _, err := cm.Transmit(w, false); err != nil {
+		t.Fatal(err)
+	}
 	if cm.Down != int64(n) {
 		t.Fatalf("downlink accounting wrong: %d", cm.Down)
 	}

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -64,6 +65,38 @@ func Lookup(name string) (Method, error) {
 	return m, nil
 }
 
+// Compose resolves a base registry method and applies policy overrides
+// (empty strings keep the base's policy), deriving a display name like
+// "FedAT[select=oversel]" unless an explicit name is given. It is the
+// single implementation behind fedsim's -compose flags and fedserver's
+// -select/-pacer/-agg flags, so the two CLIs' composition surfaces cannot
+// drift.
+func Compose(base, sel, pace, update, name string) (Method, error) {
+	m, err := Lookup(base)
+	if err != nil {
+		return Method{}, err
+	}
+	var overrides []string
+	if sel != "" {
+		m.Select = sel
+		overrides = append(overrides, "select="+sel)
+	}
+	if pace != "" {
+		m.Pace = pace
+		overrides = append(overrides, "pacer="+pace)
+	}
+	if update != "" {
+		m.Update = update
+		overrides = append(overrides, "agg="+update)
+	}
+	if name != "" {
+		m.Name = name
+	} else if len(overrides) > 0 {
+		m.Name = fmt.Sprintf("%s[%s]", m.Name, strings.Join(overrides, ","))
+	}
+	return m, nil
+}
+
 // Run looks up a registry method and runs it — the common path for callers
 // that address methods by name.
 func Run(name string, env *Env, obs ...Observer) (*metrics.Run, error) {
@@ -74,11 +107,18 @@ func Run(name string, env *Env, obs ...Observer) (*metrics.Run, error) {
 	return m.Run(env, obs...)
 }
 
-// Run executes the method on the environment and returns the run record.
-// Extra observers subscribe to the run event stream alongside the built-in
-// recorder. Composition errors (unknown policy keys, a pacer/selector
-// mismatch) and aggregation errors surface here instead of panicking.
+// Run executes the method on the simulated environment and returns the run
+// record — shorthand for RunOn over a fresh simulated fabric.
 func (m Method) Run(env *Env, obs ...Observer) (*metrics.Run, error) {
+	return m.RunOn(env.Fabric(), env.Cfg, obs...)
+}
+
+// RunOn executes the method on an execution fabric — the simulator or the
+// live TCP transport — and returns the run record. Extra observers
+// subscribe to the run event stream alongside the built-in recorder.
+// Composition errors (unknown policy keys, a pacer/selector mismatch),
+// aggregation errors and channel errors surface here instead of panicking.
+func (m Method) RunOn(fab Fabric, cfg RunConfig, obs ...Observer) (*metrics.Run, error) {
 	if m.Name == "" {
 		return nil, fmt.Errorf("fl: method has no name")
 	}
@@ -95,13 +135,14 @@ func (m Method) Run(env *Env, obs ...Observer) (*metrics.Run, error) {
 		return nil, fmt.Errorf("fl: method %s: unknown update rule %q (have %v)", m.Name, m.Update, util.SortedKeys(UpdateRules))
 	}
 
-	cfg := env.Cfg
+	cfg = cfg.withDefaults()
 	root := rng.New(cfg.Seed).SplitLabeled(hashName(m.Name))
-	rec := newRecorder(m.Name, env.Fed.Name)
+	rec := newRecorder(m.Name, fab.Dataset())
 	rs := &runState{
-		env:      env,
+		fab:      fab,
+		cfg:      cfg,
 		method:   m,
-		comm:     NewComm(cfg.Codec, env.Shapes()),
+		comm:     NewComm(cfg.Codec, fab.Shapes()),
 		root:     root,
 		epochRNG: root.SplitLabeled(epochLabel(m, cfg)),
 		sel:      selFac(),
@@ -123,11 +164,12 @@ func (m Method) Run(env *Env, obs ...Observer) (*metrics.Run, error) {
 	return rec.finish(rs.comm, rs.rule.Rounds()), nil
 }
 
-// runState is the per-run engine state shared by the policies: the
-// environment, the communication channel, the composed policy instances and
-// the event/eval plumbing. Policies receive it in every hook.
+// runState is the per-run engine state shared by the policies: the fabric,
+// the run configuration, the communication accounting, the composed policy
+// instances and the event/eval plumbing. Policies receive it in every hook.
 type runState struct {
-	env      *Env
+	fab      Fabric
+	cfg      RunConfig
 	method   Method
 	comm     *Comm
 	root     *rng.RNG // method-labelled RNG root; policies split their streams off it
@@ -140,12 +182,12 @@ type runState struct {
 	nextEvalAt int
 }
 
-// Tiers returns the profiled latency partition, computing it on first use —
+// Tiers returns the fabric's latency partition, computing it on first use —
 // tier-paced methods, tier-aware selectors and the Eq. 5 fold all share one
 // partition per run, exactly as FedAT reuses TiFL's tiering (§2.1).
 func (rs *runState) Tiers() (*tiering.Tiers, error) {
 	if rs.tiers == nil {
-		t, err := ProfileTiers(rs.env)
+		t, err := rs.fab.Partition(rs.cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -159,11 +201,16 @@ func (rs *runState) Tiers() (*tiering.Tiers, error) {
 func (rs *runState) localConfig(round uint64) LocalConfig {
 	lambda := 0.0
 	if rs.method.Local.Prox {
-		lambda = rs.env.Cfg.Lambda
+		lambda = rs.cfg.Lambda
 	}
-	lc := rs.env.LocalConfig(lambda, round)
+	lc := LocalConfig{
+		Epochs:    rs.cfg.LocalEpochs,
+		BatchSize: rs.cfg.BatchSize,
+		Lambda:    lambda,
+		Round:     round,
+	}
 	if rs.method.Local.VariableEpochs {
-		lc.Epochs = 1 + rs.epochRNG.Intn(rs.env.Cfg.LocalEpochs)
+		lc.Epochs = 1 + rs.epochRNG.Intn(rs.cfg.LocalEpochs)
 	}
 	return lc
 }
@@ -176,21 +223,25 @@ func (rs *runState) emit(ev Event) {
 }
 
 // emitClientDones reports each trained client's resolution.
-func (rs *runState) emitClientDones(tier int, results []trainResult) {
+func (rs *runState) emitClientDones(tier int, results []TrainResult) {
 	for i := range results {
 		r := &results[i]
-		rs.emit(ClientDoneEvent{Client: r.client.ID, Tier: tier, Time: r.arrive, Dropped: r.dropped})
+		rs.emit(ClientDoneEvent{Client: r.Client, Tier: tier, Time: r.Arrive, Dropped: r.Dropped})
 	}
 }
 
 // maybeEval evaluates the global model at the configured cadence and emits
-// the Eval event the recorder (and any other observer) consumes.
+// the Eval event the recorder (and any other observer) consumes. Fabrics
+// without an evaluation harness skip the event.
 func (rs *runState) maybeEval(round int, now float64, w []float64) {
 	if round < rs.nextEvalAt {
 		return
 	}
-	rs.nextEvalAt = round + rs.env.Cfg.EvalEvery
-	res := rs.env.Eval.Evaluate(w)
+	rs.nextEvalAt = round + rs.cfg.EvalEvery
+	res, ok := rs.fab.Evaluate(w)
+	if !ok {
+		return
+	}
 	rs.emit(EvalEvent{
 		Round: round, Time: now, Result: res,
 		UpBytes: rs.comm.Up, DownBytes: rs.comm.Down,

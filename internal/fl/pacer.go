@@ -4,15 +4,21 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/simnet"
 )
 
 // Pacer is the loop-structure policy of a method: it decides when cohorts
 // train and when the update rule folds. The three pacers below are the
 // paper's three temporal regimes — lock-step synchronous rounds (FedAvg,
-// FedProx, TiFL, over-selection), concurrent per-tier round loops on the
-// discrete-event simulator (FedAT), and wait-free per-client loops
-// (FedAsync, ASO-Fed).
+// FedProx, TiFL, over-selection), concurrent per-tier round loops (FedAT),
+// and wait-free per-client loops (FedAsync, ASO-Fed).
+//
+// Pacers are written once against the Fabric interface in continuation
+// style: work is started with Dispatch, folds are sequenced with At, and
+// the fabric's clock decides what "concurrent" means. On the simulated
+// fabric Dispatch delivers synchronously and At queues on the virtual
+// event loop — exactly the discrete-event structure the golden runs pin.
+// On the live fabric Dispatch trains real clients over TCP while other
+// cohorts proceed, and deliveries serialize on the wall-clock run loop.
 type Pacer interface {
 	Run(rs *runState) error
 }
@@ -36,46 +42,73 @@ func (syncPacer) Run(rs *runState) error {
 	if !ok {
 		return fmt.Errorf("sync pacing needs a round selector, %q is not one", rs.method.Select)
 	}
-	cfg := rs.env.Cfg
-	now := 0.0
-	// Attempt budget guards against a fully-dropped population.
-	for attempt := 0; rs.rule.Rounds() < cfg.Rounds && attempt < 2*cfg.Rounds+10; attempt++ {
-		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
-			break
-		}
-		cohort, tier, selNow, outcome := sel.Pick(rs, now)
-		now = selNow
-		if outcome == SelectStop {
-			break
-		}
-		if outcome == SelectSkip {
-			continue
-		}
-		round := rs.rule.Rounds()
-		rs.emit(RoundStartEvent{Tier: tier, Round: round, Time: now, Clients: cohort})
-		results := rs.env.trainGroup(cohort, now, rs.rule.Global(), rs.comm, rs.localConfig(uint64(round)))
-		rs.emitClientDones(tier, results)
-		kept, comp := sel.Harvest(rs, results)
-		now = comp
-		if len(kept) == 0 {
-			continue // every counted client dropped; no update this round
-		}
-		g, err := rs.rule.Fold(Fold{Tier: tier, Updates: toUpdates(kept), StartRound: round})
-		if err != nil {
-			return err
-		}
-		t := rs.rule.Rounds()
-		rs.emit(TierFoldEvent{Tier: tier, Round: t, Time: now, Kept: len(kept)})
-		rs.maybeEval(t, now, g)
+	cfg := rs.cfg
+	var runErr error
+	fail := func(err error) {
+		runErr = err
+		rs.fab.Stop()
 	}
-	return nil
+	// Attempt budget guards against a fully-dropped population.
+	attempt := 0
+	var step func(now float64)
+	step = func(now float64) {
+		for {
+			if rs.rule.Rounds() >= cfg.Rounds || attempt >= 2*cfg.Rounds+10 {
+				return
+			}
+			if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
+				return
+			}
+			attempt++
+			cohort, tier, selNow, outcome, err := sel.Pick(rs, now)
+			if err != nil {
+				fail(err)
+				return
+			}
+			now = selNow
+			if outcome == SelectStop {
+				return
+			}
+			if outcome == SelectSkip {
+				continue
+			}
+			round := rs.rule.Rounds()
+			rs.emit(RoundStartEvent{Tier: tier, Round: round, Time: now, Clients: cohort})
+			rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round)), func(results []TrainResult, err error) {
+				if err != nil {
+					fail(err)
+					return
+				}
+				rs.emitClientDones(tier, results)
+				kept, comp := sel.Harvest(rs, results)
+				rs.fab.At(comp, func() {
+					if len(kept) == 0 {
+						step(comp) // every counted client dropped; no update this round
+						return
+					}
+					g, err := rs.rule.Fold(Fold{Tier: tier, Updates: toUpdates(kept), StartRound: round})
+					if err != nil {
+						fail(err)
+						return
+					}
+					t := rs.rule.Rounds()
+					rs.emit(TierFoldEvent{Tier: tier, Round: t, Time: comp, Kept: len(kept), Global: g})
+					rs.maybeEval(t, comp, g)
+					step(comp)
+				})
+			})
+			return // the round is in flight; resume from its completion
+		}
+	}
+	step(0)
+	rs.fab.Run()
+	return runErr
 }
 
 // ---------------------------------------------------------------------------
 // tier: FedAT's Algorithm 2 — every tier runs its own synchronous round
-// loop concurrently on the event simulator, each round training from the
-// freshest global model at ITS start; folds land at each tier's own
-// completion time.
+// loop concurrently, each round training from the freshest global model at
+// ITS start; folds land at each tier's own completion time.
 
 type tierPacer struct{}
 
@@ -88,13 +121,16 @@ func (tierPacer) Run(rs *runState) error {
 	if err != nil {
 		return err
 	}
-	cfg := rs.env.Cfg
-	sim := simnet.New()
+	cfg := rs.cfg
 	done := false
 	var runErr error
 	finish := func() {
 		done = true
-		sim.Stop()
+		rs.fab.Stop()
+	}
+	fail := func(err error) {
+		runErr = err
+		finish()
 	}
 
 	var tierRound func(m int)
@@ -102,7 +138,7 @@ func (tierPacer) Run(rs *runState) error {
 		if done {
 			return
 		}
-		now := sim.Now()
+		now := rs.fab.Now()
 		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
 			finish()
 			return
@@ -113,35 +149,42 @@ func (tierPacer) Run(rs *runState) error {
 		}
 		round := rs.rule.Rounds()
 		rs.emit(RoundStartEvent{Tier: m, Round: round, Time: now, Clients: cohort})
-		results := rs.env.trainGroup(cohort, now, rs.rule.Global(), rs.comm, rs.localConfig(uint64(round)))
-		rs.emitClientDones(m, results)
-		kept, comp := tsel.Harvest(rs, results)
-		sim.At(comp, func() {
+		rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round)), func(results []TrainResult, err error) {
 			if done {
 				return
 			}
-			if len(kept) > 0 {
-				g, err := rs.rule.Fold(Fold{Tier: m, Updates: toUpdates(kept), StartRound: round})
-				if err != nil {
-					runErr = err
-					finish()
-					return
-				}
-				t := rs.rule.Rounds()
-				rs.emit(TierFoldEvent{Tier: m, Round: t, Time: sim.Now(), Kept: len(kept)})
-				rs.maybeEval(t, sim.Now(), g)
-				if t >= cfg.Rounds {
-					finish()
-					return
-				}
+			if err != nil {
+				fail(err)
+				return
 			}
-			tierRound(m)
+			rs.emitClientDones(m, results)
+			kept, comp := tsel.Harvest(rs, results)
+			rs.fab.At(comp, func() {
+				if done {
+					return
+				}
+				if len(kept) > 0 {
+					g, err := rs.rule.Fold(Fold{Tier: m, Updates: toUpdates(kept), StartRound: round})
+					if err != nil {
+						fail(err)
+						return
+					}
+					t := rs.rule.Rounds()
+					rs.emit(TierFoldEvent{Tier: m, Round: t, Time: rs.fab.Now(), Kept: len(kept), Global: g})
+					rs.maybeEval(t, rs.fab.Now(), g)
+					if t >= cfg.Rounds {
+						finish()
+						return
+					}
+				}
+				tierRound(m)
+			})
 		})
 	}
 	for m := 0; m < tiers.M(); m++ {
 		tierRound(m)
 	}
-	sim.Run()
+	rs.fab.Run()
 	return runErr
 }
 
@@ -157,58 +200,64 @@ func (clientPacer) Run(rs *runState) error {
 	if _, ok := rs.sel.(FreeSelector); !ok {
 		return fmt.Errorf("client pacing performs no cohort selection, so selector %q would be ignored; use \"all\"", rs.method.Select)
 	}
-	cfg := rs.env.Cfg
-	sim := simnet.New()
+	cfg := rs.cfg
 	done := false
 	var runErr error
+	fail := func(err error) {
+		runErr = err
+		done = true
+		rs.fab.Stop()
+	}
 
-	var startClient func(c *Client)
-	startClient = func(c *Client) {
+	var startClient func(id int)
+	startClient = func(id int) {
 		if done {
 			return
 		}
-		now := sim.Now()
-		if !c.Runtime.Available(now) {
+		now := rs.fab.Now()
+		if !rs.fab.Available(id, now) {
 			return
 		}
 		startRound := rs.rule.Rounds()
-		wRecv, downBytes := rs.comm.Transmit(rs.rule.Global(), false)
-		downDone := rs.env.Cluster.DownloadArrival(now, c.Runtime, downBytes)
-		w, steps := c.TrainLocal(wRecv, rs.localConfig(uint64(startRound)))
-		computeDone := downDone + c.Runtime.ComputeTime(steps) + c.Runtime.RoundDelay()
-		if !c.Runtime.Available(computeDone) {
-			rs.emit(ClientDoneEvent{Client: c.ID, Tier: -1, Time: computeDone, Dropped: true})
-			return // dropped mid-round; the update is lost
-		}
-		wUp, upBytes := rs.comm.Transmit(w, true)
-		arrive := rs.env.Cluster.UploadArrival(computeDone, c.Runtime, upBytes)
-		sim.At(arrive, func() {
+		rs.fab.Dispatch(rs.comm, []int{id}, now, rs.rule.Global(), rs.localConfig(uint64(startRound)), func(results []TrainResult, err error) {
 			if done {
 				return
 			}
-			rs.emit(ClientDoneEvent{Client: c.ID, Tier: -1, Time: arrive})
-			update := core.ClientUpdate{Weights: wUp, N: c.Data.NumTrain(), Client: c.ID}
-			g, err := rs.rule.Fold(Fold{Tier: -1, Updates: []core.ClientUpdate{update}, StartRound: startRound})
 			if err != nil {
-				runErr = err
-				done = true
-				sim.Stop()
+				fail(err)
 				return
 			}
-			t := rs.rule.Rounds()
-			rs.emit(TierFoldEvent{Tier: -1, Round: t, Time: sim.Now(), Kept: 1})
-			rs.maybeEval(t, sim.Now(), g)
-			if t >= cfg.Rounds || (cfg.MaxSimTime > 0 && sim.Now() >= cfg.MaxSimTime) {
-				done = true
-				sim.Stop()
-				return
+			r := results[0]
+			if r.Dropped {
+				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive, Dropped: true})
+				return // dropped mid-round; the update is lost
 			}
-			startClient(c)
+			rs.fab.At(r.Arrive, func() {
+				if done {
+					return
+				}
+				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive})
+				update := core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client}
+				g, err := rs.rule.Fold(Fold{Tier: -1, Updates: []core.ClientUpdate{update}, StartRound: startRound})
+				if err != nil {
+					fail(err)
+					return
+				}
+				t := rs.rule.Rounds()
+				rs.emit(TierFoldEvent{Tier: -1, Round: t, Time: rs.fab.Now(), Kept: 1, Global: g})
+				rs.maybeEval(t, rs.fab.Now(), g)
+				if t >= cfg.Rounds || (cfg.MaxSimTime > 0 && rs.fab.Now() >= cfg.MaxSimTime) {
+					done = true
+					rs.fab.Stop()
+					return
+				}
+				startClient(id)
+			})
 		})
 	}
-	for _, c := range rs.env.Clients {
-		startClient(c)
+	for id := 0; id < rs.fab.NumClients(); id++ {
+		startClient(id)
 	}
-	sim.Run()
+	rs.fab.Run()
 	return runErr
 }

@@ -6,23 +6,12 @@ import (
 	"repro/internal/rng"
 )
 
-// trainResult is one client's completed local round, stamped with its
-// simulated arrival time at the server.
-type trainResult struct {
-	client  *Client
-	weights []float64 // as reconstructed by the server after the uplink
-	n       int       // n_k
-	steps   int       // batch steps executed (compute-time unit)
-	arrive  float64   // virtual time the upload lands at the server
-	dropped bool      // client went offline before finishing
-}
-
 // selectAvailable samples up to k distinct clients from ids that are still
-// online at time now.
-func selectAvailable(r *rng.RNG, ids []int, clients []*Client, now float64, k int) []int {
+// online on the fabric at time now.
+func selectAvailable(r *rng.RNG, ids []int, fab Fabric, now float64, k int) []int {
 	avail := make([]int, 0, len(ids))
 	for _, id := range ids {
-		if clients[id].Runtime.Available(now) {
+		if fab.Available(id, now) {
 			avail = append(avail, id)
 		}
 	}
@@ -51,13 +40,17 @@ func selectAvailable(r *rng.RNG, ids []int, clients []*Client, now float64, k in
 // link reservations happen sequentially in selection order, so results are
 // deterministic. Clients that drop mid-round lose their update (§6's
 // unstable clients). Weights in the results are what the server
-// reconstructs after the (possibly lossy) uplink.
-func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm, lc LocalConfig) []trainResult {
+// reconstructs after the (possibly lossy) uplink. This is the simulated
+// fabric's Dispatch body.
+func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm, lc LocalConfig) ([]TrainResult, error) {
 	// Downlink: every client receives its own copy of the snapshot.
 	received := make([][]float64, len(sel))
 	downDone := make([]float64, len(sel))
 	for i, id := range sel {
-		w, bytes := comm.Transmit(global, false)
+		w, bytes, err := comm.Transmit(global, false)
+		if err != nil {
+			return nil, err
+		}
 		received[i] = w
 		downDone[i] = e.Cluster.DownloadArrival(start, e.Clients[id].Runtime, bytes)
 	}
@@ -69,34 +62,38 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 	// wildly different local data sizes — static chunks would serialize
 	// the expensive clients on one worker. Selection, timing and link
 	// reservations stay sequential around it.
-	results := make([]trainResult, len(sel))
+	results := make([]TrainResult, len(sel))
 	parallel.Dynamic(len(sel), parallel.Workers(len(sel)), func(i int) {
 		c := e.Clients[sel[i]]
 		w, steps := c.TrainLocal(received[i], lc)
-		results[i] = trainResult{client: c, weights: w, n: c.Data.NumTrain(), steps: steps}
+		results[i] = TrainResult{Client: c.ID, Weights: w, N: c.Data.NumTrain(), Steps: steps}
 	})
 
 	// Sequential post-pass: delays, drops and uplink in selection order.
 	for i := range results {
 		r := &results[i]
-		computeDone := downDone[i] + r.client.Runtime.ComputeTime(r.steps) + r.client.Runtime.RoundDelay()
-		if !r.client.Runtime.Available(computeDone) {
-			r.dropped = true
-			r.arrive = computeDone
+		c := e.Clients[sel[i]]
+		computeDone := downDone[i] + c.Runtime.ComputeTime(r.Steps) + c.Runtime.RoundDelay()
+		if !c.Runtime.Available(computeDone) {
+			r.Dropped = true
+			r.Arrive = computeDone
 			continue
 		}
-		w, bytes := comm.Transmit(r.weights, true)
-		r.weights = w
-		r.arrive = e.Cluster.UploadArrival(computeDone, r.client.Runtime, bytes)
+		w, bytes, err := comm.Transmit(r.Weights, true)
+		if err != nil {
+			return nil, err
+		}
+		r.Weights = w
+		r.Arrive = e.Cluster.UploadArrival(computeDone, c.Runtime, bytes)
 	}
-	return results
+	return results, nil
 }
 
 // survivors filters out dropped results.
-func survivors(results []trainResult) []trainResult {
+func survivors(results []TrainResult) []TrainResult {
 	out := results[:0:0]
 	for _, r := range results {
-		if !r.dropped {
+		if !r.Dropped {
 			out = append(out, r)
 		}
 	}
@@ -107,21 +104,21 @@ func survivors(results []trainResult) []trainResult {
 // synchronous round ("the server has to wait for the slowest clients").
 // Dropped clients bound it too: the server discovers the loss no earlier
 // than the time the update would have been due.
-func completionTime(results []trainResult) float64 {
+func completionTime(results []TrainResult) float64 {
 	t := 0.0
 	for _, r := range results {
-		if r.arrive > t {
-			t = r.arrive
+		if r.Arrive > t {
+			t = r.Arrive
 		}
 	}
 	return t
 }
 
 // toUpdates converts surviving results into aggregator updates.
-func toUpdates(results []trainResult) []core.ClientUpdate {
+func toUpdates(results []TrainResult) []core.ClientUpdate {
 	ups := make([]core.ClientUpdate, 0, len(results))
 	for _, r := range results {
-		ups = append(ups, core.ClientUpdate{Weights: r.weights, N: r.n, Client: r.client.ID})
+		ups = append(ups, core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client})
 	}
 	return ups
 }

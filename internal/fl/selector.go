@@ -20,28 +20,28 @@ type Selector interface {
 // and decides which of the round's results count.
 type RoundSelector interface {
 	Selector
-	// Pick selects the next round's cohort at virtual time now. It may
-	// advance the clock past selection bookkeeping (TiFL's accuracy
-	// refresh costs real communication) and reports the training tier the
-	// cohort belongs to (-1 when the selector is untiered; tier-aware
-	// update rules then route each update by its client's profiled tier).
-	Pick(rs *runState, now float64) (sel []int, tier int, newNow float64, outcome SelectOutcome)
+	// Pick selects the next round's cohort at time now. It may advance
+	// the clock past selection bookkeeping (TiFL's accuracy refresh costs
+	// real communication) and reports the training tier the cohort
+	// belongs to (-1 when the selector is untiered; tier-aware update
+	// rules then route each update by its client's profiled tier).
+	Pick(rs *runState, now float64) (sel []int, tier int, newNow float64, outcome SelectOutcome, err error)
 	// Harvest filters the round's results down to the updates that count
 	// and returns the round's completion time — over-selection keeps only
 	// the earliest arrivals, so the straggler tail stops gating the clock.
-	Harvest(rs *runState, results []trainResult) (kept []trainResult, now float64)
+	Harvest(rs *runState, results []TrainResult) (kept []TrainResult, now float64)
 }
 
 // TierSelector drives tier pacing: each tier's loop asks for a cohort
 // within that tier.
 type TierSelector interface {
 	Selector
-	// PickTier samples a cohort from tier m at virtual time now (nil when
-	// the tier has no available clients).
+	// PickTier samples a cohort from tier m at time now (nil when the
+	// tier has no available clients).
 	PickTier(rs *runState, m int, now float64) []int
 	// Harvest plays the same role as RoundSelector.Harvest for one tier's
 	// round.
-	Harvest(rs *runState, results []trainResult) (kept []trainResult, now float64)
+	Harvest(rs *runState, results []TrainResult) (kept []TrainResult, now float64)
 }
 
 // SelectOutcome is a RoundSelector's verdict for one pacing attempt.
@@ -79,22 +79,22 @@ type randomSelector struct {
 }
 
 func (s *randomSelector) Init(rs *runState) error {
-	s.all = allClientIDs(rs.env)
+	s.all = allClientIDs(rs.fab)
 	s.root = rs.root
 	s.selRNG = rs.root.SplitLabeled(1)
 	return nil
 }
 
-func (s *randomSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome) {
-	sel := selectAvailable(s.selRNG, s.all, rs.env.Clients, now, rs.env.Cfg.ClientsPerRound)
+func (s *randomSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome, error) {
+	sel := selectAvailable(s.selRNG, s.all, rs.fab, now, rs.cfg.ClientsPerRound)
 	if len(sel) == 0 {
-		return nil, -1, now, SelectStop // everyone is offline; training cannot continue
+		return nil, -1, now, SelectStop, nil // everyone is offline; training cannot continue
 	}
-	return sel, -1, now, SelectOK
+	return sel, -1, now, SelectOK, nil
 }
 
 func (s *randomSelector) PickTier(rs *runState, m int, now float64) []int {
-	return selectAvailable(s.tierStream(m), rs.tiers.Members[m], rs.env.Clients, now, rs.env.Cfg.ClientsPerRound)
+	return selectAvailable(s.tierStream(m), rs.tiers.Members[m], rs.fab, now, rs.cfg.ClientsPerRound)
 }
 
 // tierStream lazily derives tier m's RNG stream, labelled by tier index —
@@ -106,7 +106,7 @@ func (s *randomSelector) tierStream(m int) *rng.RNG {
 	return s.tierRNG[m]
 }
 
-func (s *randomSelector) Harvest(rs *runState, results []trainResult) ([]trainResult, float64) {
+func (s *randomSelector) Harvest(rs *runState, results []TrainResult) ([]TrainResult, float64) {
 	return survivors(results), completionTime(results)
 }
 
@@ -122,29 +122,29 @@ type overselSelector struct {
 }
 
 func (s *overselSelector) overCount(rs *runState) int {
-	return int(float64(rs.env.Cfg.ClientsPerRound)*overFactor + 0.5)
+	return int(float64(rs.cfg.ClientsPerRound)*overFactor + 0.5)
 }
 
-func (s *overselSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome) {
-	sel := selectAvailable(s.selRNG, s.all, rs.env.Clients, now, s.overCount(rs))
+func (s *overselSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome, error) {
+	sel := selectAvailable(s.selRNG, s.all, rs.fab, now, s.overCount(rs))
 	if len(sel) == 0 {
-		return nil, -1, now, SelectStop
+		return nil, -1, now, SelectStop, nil
 	}
-	return sel, -1, now, SelectOK
+	return sel, -1, now, SelectOK, nil
 }
 
 func (s *overselSelector) PickTier(rs *runState, m int, now float64) []int {
-	return selectAvailable(s.tierStream(m), rs.tiers.Members[m], rs.env.Clients, now, s.overCount(rs))
+	return selectAvailable(s.tierStream(m), rs.tiers.Members[m], rs.fab, now, s.overCount(rs))
 }
 
-func (s *overselSelector) Harvest(rs *runState, results []trainResult) ([]trainResult, float64) {
+func (s *overselSelector) Harvest(rs *runState, results []TrainResult) ([]TrainResult, float64) {
 	surv := survivors(results)
 	if len(surv) == 0 {
 		return nil, completionTime(results)
 	}
 	// Keep the earliest arrivals up to the target count; the rest are
 	// received later but ignored (their bytes were already counted).
-	keep := rs.env.Cfg.ClientsPerRound
+	keep := rs.cfg.ClientsPerRound
 	if keep > len(surv) {
 		keep = len(surv)
 	}
@@ -155,9 +155,9 @@ func (s *overselSelector) Harvest(rs *runState, results []trainResult) ([]trainR
 
 // sortByArrival orders results by server arrival time (stable insertion
 // sort: the slices are ~13 elements).
-func sortByArrival(rs []trainResult) {
+func sortByArrival(rs []TrainResult) {
 	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].arrive < rs[j-1].arrive; j-- {
+		for j := i; j > 0 && rs[j].Arrive < rs[j-1].Arrive; j-- {
 			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
 	}
@@ -180,58 +180,60 @@ func (s *tiflSelector) Init(rs *runState) error {
 	if err != nil {
 		return err
 	}
-	cfg := rs.env.Cfg
+	cfg := rs.cfg
 	s.sel = tiering.NewTiFLSelector(tiers.M(), cfg.TiFLCredits, cfg.TiFLInterval)
 	s.tierRNG = rs.root.SplitLabeled(1)
 	s.selRNG = rs.root.SplitLabeled(2)
 	return nil
 }
 
-func (s *tiflSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome) {
+func (s *tiflSelector) Pick(rs *runState, now float64) ([]int, int, float64, SelectOutcome, error) {
 	if s.sel.NeedsAccuracyRefresh() {
-		now = tiflAccuracyRefresh(rs.env, rs.comm, rs.rule.Global(), rs.tiers, s.sel, now)
+		var err error
+		now, err = tiflAccuracyRefresh(rs, s.sel, rs.rule.Global(), now)
+		if err != nil {
+			return nil, 0, now, SelectStop, err
+		}
 	}
 	tier := s.sel.Select(s.tierRNG)
-	sel := selectAvailable(s.selRNG, rs.tiers.Members[tier], rs.env.Clients, now, rs.env.Cfg.ClientsPerRound)
+	sel := selectAvailable(s.selRNG, rs.tiers.Members[tier], rs.fab, now, rs.cfg.ClientsPerRound)
 	if len(sel) == 0 {
-		return nil, 0, now, SelectSkip // tier fully offline; the selector will pick others
+		return nil, 0, now, SelectSkip, nil // tier fully offline; the selector will pick others
 	}
-	return sel, tier, now, SelectOK
+	return sel, tier, now, SelectOK, nil
 }
 
-func (s *tiflSelector) Harvest(rs *runState, results []trainResult) ([]trainResult, float64) {
+func (s *tiflSelector) Harvest(rs *runState, results []TrainResult) ([]TrainResult, float64) {
 	return survivors(results), completionTime(results)
 }
 
 // tiflAccuracyRefresh models TiFL's adaptive-selection bookkeeping: the
-// current model is downloaded to every available client, each evaluates
-// locally and uploads its test accuracy (a small control message). The
-// refresh costs real communication (model bytes × clients) and real time
-// (the transfers serialize on the server downlink).
-func tiflAccuracyRefresh(env *Env, comm *Comm, global []float64, tiers *tiering.Tiers, selector *tiering.TiFLSelector, now float64) float64 {
+// current model goes out to every available client, each evaluates locally
+// and reports its test accuracy (a small control message). The fabric
+// accounts the cost — on the simulator the transfers serialize on the
+// server downlink and advance the clock; the live fabric tallies the bytes.
+func tiflAccuracyRefresh(rs *runState, selector *tiering.TiFLSelector, global []float64, now float64) (float64, error) {
 	const accMsgBytes = 32
 	latest := now
-	accs := make([]float64, tiers.M())
-	for m, members := range tiers.Members {
+	accs := make([]float64, rs.tiers.M())
+	for m, members := range rs.tiers.Members {
 		online := members[:0:0]
 		for _, id := range members {
-			c := env.Clients[id]
-			if !c.Runtime.Available(now) {
-				continue
-			}
-			online = append(online, id)
-			_, bytes := comm.Transmit(global, false)
-			done := env.Cluster.DownloadArrival(now, c.Runtime, bytes)
-			comm.CountControl(accMsgBytes, true)
-			done = env.Cluster.UploadArrival(done, c.Runtime, accMsgBytes)
-			if done > latest {
-				latest = done
+			if rs.fab.Available(id, now) {
+				online = append(online, id)
 			}
 		}
-		accs[m] = env.Eval.EvaluateSubset(global, online)
+		done, err := rs.fab.Probe(rs.comm, online, now, global, accMsgBytes)
+		if err != nil {
+			return 0, err
+		}
+		if done > latest {
+			latest = done
+		}
+		accs[m] = rs.fab.EvaluateSubset(global, online)
 	}
 	selector.UpdateAccuracies(accs)
-	return latest
+	return latest, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -251,9 +253,9 @@ type allSelector struct{}
 func (allSelector) Init(*runState) error { return nil }
 func (allSelector) freeRunning()         {}
 
-// allClientIDs lists every client id.
-func allClientIDs(env *Env) []int {
-	all := make([]int, len(env.Clients))
+// allClientIDs lists every client id on the fabric.
+func allClientIDs(fab Fabric) []int {
+	all := make([]int, fab.NumClients())
 	for i := range all {
 		all[i] = i
 	}

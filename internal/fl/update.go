@@ -54,7 +54,7 @@ type avgRule struct {
 }
 
 func (r *avgRule) Init(rs *runState) error {
-	agg, err := core.NewAggregator(1, rs.env.InitialWeights(), true)
+	agg, err := core.NewAggregator(1, rs.fab.InitialWeights(), true)
 	if err != nil {
 		return err
 	}
@@ -86,8 +86,8 @@ func (r *eq5Rule) Init(rs *runState) error {
 	if err != nil {
 		return err
 	}
-	weighted := !rs.env.Cfg.UniformAgg && !r.forceUniform
-	agg, err := core.NewAggregator(tiers.M(), rs.env.InitialWeights(), weighted)
+	weighted := !rs.cfg.UniformAgg && !r.forceUniform
+	agg, err := core.NewAggregator(tiers.M(), rs.fab.InitialWeights(), weighted)
 	if err != nil {
 		return err
 	}
@@ -143,9 +143,9 @@ type stalenessRule struct {
 }
 
 func (r *stalenessRule) Init(rs *runState) error {
-	r.global = rs.env.InitialWeights()
-	r.alpha = rs.env.Cfg.AsyncAlpha
-	r.exp = rs.env.Cfg.AsyncStaleExp
+	r.global = rs.fab.InitialWeights()
+	r.alpha = rs.cfg.AsyncAlpha
+	r.exp = rs.cfg.AsyncStaleExp
 	return nil
 }
 
@@ -182,15 +182,18 @@ type asoRule struct {
 }
 
 func (r *asoRule) Init(rs *runState) error {
-	env := rs.env
-	r.global = env.InitialWeights()
-	r.copies = make([][]float64, len(env.Clients))
+	numClients := rs.fab.NumClients()
+	r.global = rs.fab.InitialWeights()
+	r.copies = make([][]float64, numClients)
 	r.copySum = make([]float64, len(r.global))
-	for i, c := range env.Clients {
-		r.copies[i] = env.InitialWeights()
-		n := c.Data.NumTrain()
+	for i := 0; i < numClients; i++ {
+		r.copies[i] = rs.fab.InitialWeights()
+		n := rs.fab.SampleCount(i)
 		r.totalN += n
 		tensor.Axpy(float64(n), r.copies[i], r.copySum)
+	}
+	if r.totalN <= 0 {
+		return fmt.Errorf("asofed: population reports no training samples")
 	}
 	for i := range r.global {
 		r.global[i] = r.copySum[i] / float64(r.totalN)

@@ -21,6 +21,26 @@ import (
 	"math"
 )
 
+// Clock is the timeline half of an execution fabric: the surface the
+// engine's pacers use to observe time and sequence callbacks. Sim implements
+// it with a virtual clock (the simulated fabric); the live TCP transport
+// implements it with a wall clock behind a serialized run loop. Both promise
+// the same discipline: every callback runs on the single goroutine inside
+// Run, so engine state never needs locking.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// At schedules fn at absolute time t. fn runs inside Run, never
+	// concurrently with another callback.
+	At(t float64, fn func())
+	// Run executes callbacks until the timeline drains or Stop is called.
+	Run()
+	// Stop halts the loop; callbacks not yet executed are discarded.
+	Stop()
+}
+
+var _ Clock = (*Sim)(nil)
+
 // event is a scheduled callback.
 type event struct {
 	at  float64

@@ -12,7 +12,10 @@ import (
 	"repro/internal/opt"
 )
 
-// ClientConfig configures a FedAT training client.
+// ClientConfig configures a federated training client. Local-training
+// settings (epochs, batch size, proximal λ, mini-batch schedule) are NOT
+// configured here: the server's method composition ships them with every
+// model push, so the engine controls local training on both fabrics.
 type ClientConfig struct {
 	Addr          string
 	ID            uint32
@@ -25,13 +28,14 @@ type ClientConfig struct {
 	Net  *nn.Network
 	Opt  opt.Optimizer
 
-	Epochs    int
-	BatchSize int
-	Lambda    float64
-	// Codec compresses uploads; defaults to polyline precision 4.
+	// Codec compresses uploads; defaults to polyline precision 4. It must
+	// match the server's Run.Codec for the deployment to reproduce the
+	// simulator's channel.
 	Codec codec.Codec
-	Seed  uint64
-	Logf  func(format string, args ...any)
+	// Seed anchors the fixed pseudo-random mini-batch schedule (§6); it
+	// must match the server's Run.Seed for cross-fabric reproducibility.
+	Seed uint64
+	Logf func(format string, args ...any)
 }
 
 // RunClient connects, registers and serves training rounds until the server
@@ -39,12 +43,6 @@ type ClientConfig struct {
 func RunClient(cfg ClientConfig) error {
 	if cfg.Data == nil || cfg.Net == nil || cfg.Opt == nil {
 		return fmt.Errorf("transport: client needs data, model and optimizer")
-	}
-	if cfg.Epochs <= 0 {
-		cfg.Epochs = 3
-	}
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 10
 	}
 	if cfg.Codec == nil {
 		cfg.Codec = codec.NewPolyline(4)
@@ -83,7 +81,7 @@ func RunClient(cfg ClientConfig) error {
 			cfg.Logf("client %d: shutdown", cfg.ID)
 			return nil
 		case MsgModelPush:
-			round, modelMsg, err := ParseModelPush(payload)
+			spec, modelMsg, err := ParseModelPush(payload)
 			if err != nil {
 				return err
 			}
@@ -92,10 +90,10 @@ func RunClient(cfg ClientConfig) error {
 				return fmt.Errorf("transport: client %d unmarshal: %w", cfg.ID, err)
 			}
 			w, steps := trainer.TrainLocal(global, fl.LocalConfig{
-				Epochs:    cfg.Epochs,
-				BatchSize: cfg.BatchSize,
-				Lambda:    cfg.Lambda,
-				Round:     round,
+				Epochs:    spec.Epochs,
+				BatchSize: spec.Batch,
+				Lambda:    spec.Lambda,
+				Round:     spec.Round,
 			})
 			if cfg.ArtificialDelay > 0 {
 				time.Sleep(cfg.ArtificialDelay)
@@ -104,11 +102,11 @@ func RunClient(cfg ClientConfig) error {
 			if err != nil {
 				return err
 			}
-			msg := ModelUpdate(cfg.ID, uint32(cfg.Data.NumTrain()), round, up)
+			msg := ModelUpdate(cfg.ID, uint32(cfg.Data.NumTrain()), spec.Round, up)
 			if err := WriteFrame(conn, MsgModelUpdate, msg); err != nil {
 				return err
 			}
-			cfg.Logf("client %d: round %d done (%d steps)", cfg.ID, round, steps)
+			cfg.Logf("client %d: round %d done (%d steps, %d epochs)", cfg.ID, spec.Round, steps, spec.Epochs)
 		default:
 			return fmt.Errorf("transport: client %d unexpected message type %d", cfg.ID, typ)
 		}

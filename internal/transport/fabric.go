@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/fl"
+	"repro/internal/tiering"
+)
+
+// liveFabric implements fl.Fabric over the server's registered TCP
+// connections: Dispatch ships the global model to a cohort and collects the
+// trained responses concurrently, the rtClock is the timeline, and the
+// latency partition comes from registration hints. The engine goroutine
+// (the clock loop) is the only one that touches fl engine state; collector
+// goroutines hand results back through the clock's queue.
+type liveFabric struct {
+	*rtClock
+	s *Server
+}
+
+var _ fl.Fabric = (*liveFabric)(nil)
+
+func (f *liveFabric) Dataset() string { return f.s.cfg.Dataset }
+func (f *liveFabric) NumClients() int { return f.s.cfg.NumClients }
+
+// SampleCount reports the size the client declared at registration; it
+// survives a disconnect so update rules keyed on n_k stay consistent.
+func (f *liveFabric) SampleCount(id int) int { return int(f.s.regs[id].NumSamples) }
+
+// Available means "still connected": a live client has no simulated drop
+// schedule, it is available until its connection goes away.
+func (f *liveFabric) Available(id int, _ float64) bool {
+	return f.s.client(uint32(id)) != nil
+}
+
+func (f *liveFabric) InitialWeights() []float64 {
+	out := make([]float64, len(f.s.cfg.W0))
+	copy(out, f.s.cfg.W0)
+	return out
+}
+
+func (f *liveFabric) Shapes() []codec.ShapeInfo { return f.s.cfg.Shapes }
+
+// Partition tiers the population by the latency hints clients registered
+// with — the live stand-in for the simulator's profiling round.
+func (f *liveFabric) Partition(cfg fl.RunConfig) (*tiering.Tiers, error) {
+	lat := make([]float64, f.s.cfg.NumClients)
+	for id := range lat {
+		lat[id] = float64(f.s.regs[id].LatencyHintMs)
+	}
+	return tiering.Partition(lat, cfg.NumTiers)
+}
+
+// Dispatch pushes the model to every cohort member and spawns one reader
+// per connection; when the last response resolves, the results (and their
+// byte accounting) are posted back to the clock goroutine. Clients whose
+// connection fails mid-round come back Dropped — the live analogue of the
+// simulator's unstable clients — and the round proceeds without them.
+func (f *liveFabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global []float64, lc fl.LocalConfig, deliver func([]fl.TrainResult, error)) {
+	msg, err := codec.MarshalModel(f.s.codec, f.s.cfg.Shapes, global)
+	if err != nil {
+		deliver(nil, fmt.Errorf("transport: marshal model: %w", err))
+		return
+	}
+	payload := ModelPush(PushSpec{Round: lc.Round, Epochs: lc.Epochs, Batch: lc.BatchSize, Lambda: lc.Lambda}, msg)
+	downBytes := int64(frameBytes(len(payload)))
+
+	results := make([]fl.TrainResult, len(cohort))
+	upBytes := make([]int64, len(cohort))
+	pushed := 0
+	var wg sync.WaitGroup
+	for i, id := range cohort {
+		results[i] = fl.TrainResult{Client: id, Dropped: true, Arrive: now}
+		cc := f.s.client(uint32(id))
+		if cc == nil {
+			continue
+		}
+		if err := cc.send(MsgModelPush, payload); err != nil {
+			f.s.dropClient(cc, err)
+			results[i].Arrive = f.Now()
+			continue
+		}
+		pushed++
+		wg.Add(1)
+		go func(i int, id int, cc *clientConn) {
+			defer wg.Done()
+			r, up, err := f.collect(cc, lc.Round)
+			if err != nil {
+				f.s.dropClient(cc, err)
+				results[i] = fl.TrainResult{Client: id, Dropped: true, Arrive: f.Now()}
+				return
+			}
+			r.Client = id
+			results[i] = r
+			upBytes[i] = up
+		}(i, id, cc)
+	}
+
+	f.hold()
+	go func() {
+		defer f.release()
+		wg.Wait()
+		f.post(func() {
+			// Byte accounting happens on the engine goroutine: comm is not
+			// safe for concurrent use.
+			comm.CountControl(downBytes*int64(pushed), false)
+			for _, up := range upBytes {
+				comm.CountControl(up, true)
+			}
+			deliver(results, nil)
+		})
+	}()
+}
+
+// collect reads one client's trained response for the given round. The
+// round timeout bounds the read so a silent peer cannot stall its round
+// (and the shutdown drain) forever; hitting it drops the client like any
+// other connection failure.
+func (f *liveFabric) collect(cc *clientConn, round uint64) (fl.TrainResult, int64, error) {
+	if t := f.s.cfg.RoundTimeout; t > 0 {
+		if err := cc.conn.SetReadDeadline(time.Now().Add(t)); err != nil {
+			return fl.TrainResult{}, 0, err
+		}
+	}
+	typ, payload, err := ReadFrame(cc.conn)
+	if err != nil {
+		return fl.TrainResult{}, 0, err
+	}
+	if typ != MsgModelUpdate {
+		return fl.TrainResult{}, 0, fmt.Errorf("transport: client %d sent message type %d mid-round", cc.reg.ClientID, typ)
+	}
+	_, numSamples, gotRound, model, err := ParseModelUpdate(payload)
+	if err != nil {
+		return fl.TrainResult{}, 0, err
+	}
+	if gotRound != round {
+		return fl.TrainResult{}, 0, fmt.Errorf("transport: client %d answered round %d, want %d", cc.reg.ClientID, gotRound, round)
+	}
+	if numSamples == 0 {
+		return fl.TrainResult{}, 0, fmt.Errorf("transport: client %d update with zero samples", cc.reg.ClientID)
+	}
+	_, w, err := codec.UnmarshalModel(model)
+	if err != nil {
+		return fl.TrainResult{}, 0, err
+	}
+	return fl.TrainResult{
+		Weights: w,
+		N:       int(numSamples),
+		Arrive:  f.Now(),
+	}, int64(frameBytes(len(payload))), nil
+}
+
+// Probe tallies the control traffic of a bookkeeping sweep (model down,
+// small reply up, per client). The live fabric performs no extra network
+// round-trip for it — the cost model keeps byte totals comparable with the
+// simulator's — and the sweep completes immediately on the wall clock.
+func (f *liveFabric) Probe(comm *fl.Comm, ids []int, now float64, w []float64, replyBytes int) (float64, error) {
+	if len(ids) == 0 {
+		return now, nil
+	}
+	msg, err := codec.MarshalModel(f.s.codec, f.s.cfg.Shapes, w)
+	if err != nil {
+		return 0, fmt.Errorf("transport: marshal model: %w", err)
+	}
+	size := int64(frameBytes(len(msg)))
+	comm.CountControl(size*int64(len(ids)), false)
+	comm.CountControl(int64(replyBytes)*int64(len(ids)), true)
+	return now, nil
+}
+
+// Evaluate runs the server-side evaluation harness over the mirrored
+// federation, when the operator provided one (cmd/fedserver always does).
+func (f *liveFabric) Evaluate(w []float64) (fl.Result, bool) {
+	if f.s.cfg.Eval == nil {
+		return fl.Result{}, false
+	}
+	return f.s.cfg.Eval.Evaluate(w), true
+}
+
+func (f *liveFabric) EvaluateSubset(w []float64, ids []int) float64 {
+	if f.s.cfg.Eval == nil {
+		return 0
+	}
+	return f.s.cfg.Eval.EvaluateSubset(w, ids)
+}
+
+// frameBytes is the on-wire size of a frame with the given payload length.
+func frameBytes(payloadLen int) int { return 5 + payloadLen }

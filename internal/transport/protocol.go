@@ -1,9 +1,11 @@
-// Package transport is the real networked deployment of FedAT: a TCP
-// message protocol, the server loop that drives per-tier synchronous rounds
-// over live connections, and the client loop that trains on push. It shares
-// the aggregation core (internal/core) and the client trainer (internal/fl)
-// with the simulator, so results produced in simulation describe the same
-// system that deploys here.
+// Package transport is the live execution fabric: a TCP message protocol,
+// a server that drives the internal/fl method engine over real
+// connections, and the client loop that trains on push. The server itself
+// contains no training loop — it implements fl.Fabric (dispatch cohorts,
+// observe arrivals, wall-clock timeline) and hands the loop to the same
+// pluggable policy engine the simulator runs, so any registry method or
+// -compose variant deploys here unchanged and simulation results describe
+// the deployed system.
 //
 // Wire format: every message is a length-prefixed frame
 //
@@ -18,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Message types.
@@ -25,7 +28,11 @@ const (
 	// MsgRegister (client→server): clientID u32, numSamples u32,
 	// latencyHintMs u32.
 	MsgRegister byte = iota + 1
-	// MsgModelPush (server→client): round u64, model message.
+	// MsgModelPush (server→client): round u64, epochs u32, batch u32,
+	// lambda f64, model message. The local-training settings ride with the
+	// push because the engine's method composition decides them per round
+	// (FedProx's variable epochs, a method's proximal λ) — clients execute
+	// whatever local step the server's policy ships.
 	MsgModelPush
 	// MsgModelUpdate (client→server): clientID u32, numSamples u32,
 	// round u64, model message.
@@ -100,20 +107,39 @@ func ParseRegister(p []byte) (Register, error) {
 	}, nil
 }
 
-// ModelPush frames a global model for a round.
-func ModelPush(round uint64, model []byte) []byte {
-	out := make([]byte, 8+len(model))
-	binary.LittleEndian.PutUint64(out, round)
-	copy(out[8:], model)
+// PushSpec is the per-round local-training instruction carried by a model
+// push: which fixed mini-batch schedule to use (Round) and how to train
+// (Epochs, Batch, Lambda — mirroring fl.LocalConfig).
+type PushSpec struct {
+	Round  uint64
+	Epochs int
+	Batch  int
+	Lambda float64
+}
+
+// ModelPush frames a global model plus its local-training instruction.
+func ModelPush(spec PushSpec, model []byte) []byte {
+	out := make([]byte, 24+len(model))
+	binary.LittleEndian.PutUint64(out[0:], spec.Round)
+	binary.LittleEndian.PutUint32(out[8:], uint32(spec.Epochs))
+	binary.LittleEndian.PutUint32(out[12:], uint32(spec.Batch))
+	binary.LittleEndian.PutUint64(out[16:], math.Float64bits(spec.Lambda))
+	copy(out[24:], model)
 	return out
 }
 
 // ParseModelPush splits a push payload.
-func ParseModelPush(p []byte) (round uint64, model []byte, err error) {
-	if len(p) < 8 {
-		return 0, nil, fmt.Errorf("transport: model push payload too short")
+func ParseModelPush(p []byte) (spec PushSpec, model []byte, err error) {
+	if len(p) < 24 {
+		return PushSpec{}, nil, fmt.Errorf("transport: model push payload too short")
 	}
-	return binary.LittleEndian.Uint64(p), p[8:], nil
+	spec = PushSpec{
+		Round:  binary.LittleEndian.Uint64(p[0:]),
+		Epochs: int(binary.LittleEndian.Uint32(p[8:])),
+		Batch:  int(binary.LittleEndian.Uint32(p[12:])),
+		Lambda: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+	}
+	return spec, p[24:], nil
 }
 
 // ModelUpdate frames a client's trained model.

@@ -2,77 +2,114 @@ package transport
 
 import (
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/rng"
-	"repro/internal/tiering"
+	"repro/internal/fl"
+	"repro/internal/metrics"
 )
 
-// ServerConfig configures a FedAT aggregation server.
+// ServerConfig configures a federated aggregation server. The server is a
+// thin adapter: which method runs — FedAT, any baseline, any composed
+// variant — is entirely the Method/Run pair, executed by the internal/fl
+// policy engine over the live fabric.
 type ServerConfig struct {
 	// Addr to listen on, e.g. "127.0.0.1:7070". Use port 0 for an
 	// ephemeral port (Server.Addr reports the bound address).
 	Addr string
 	// NumClients registrations to wait for before training starts.
+	// Clients must register with ids 0..NumClients-1 (the engine's client
+	// identity space); out-of-range or duplicate ids are rejected.
 	NumClients int
-	// NumTiers for the latency partition.
-	NumTiers int
-	// Rounds is the global update budget T.
-	Rounds int
-	// ClientsPerRound per tier round.
-	ClientsPerRound int
-	// Weighted selects Eq. 5 aggregation (true) or uniform.
-	Weighted bool
-	// Codec compresses pushes; defaults to polyline precision 4, the
-	// paper's configuration.
-	Codec codec.Codec
+	// Method is the policy composition to run; zero value means the
+	// registry's fedat.
+	Method fl.Method
+	// Run is the engine configuration (Rounds, ClientsPerRound, NumTiers,
+	// LocalEpochs, BatchSize, Lambda, Seed, …). Run.Codec is also the wire
+	// compression codec; nil defaults to polyline precision 4, the
+	// paper's deployment configuration.
+	Run fl.RunConfig
 	// Shapes describe the model's parameter blocks.
 	Shapes []codec.ShapeInfo
 	// W0 is the initial global model.
 	W0 []float64
-	// Seed drives client selection.
-	Seed uint64
+	// Dataset labels the run record.
+	Dataset string
+	// Eval optionally evaluates the global model server-side against a
+	// mirrored federation (cmd/fedserver derives one from the shared
+	// seed). Without it the run record carries no accuracy points, and
+	// TiFL's accuracy-driven selection degrades to credit-only behavior.
+	Eval *fl.Evaluator
+	// RoundTimeout bounds how long the server waits for one client's
+	// response to a model push before dropping it — without it a silent
+	// peer (half-open connection, stopped process) would stall its round
+	// and the final drain forever. 0 means the 5-minute default; negative
+	// disables the deadline.
+	RoundTimeout time.Duration
 	// Logf receives progress lines; nil silences logging.
 	Logf func(format string, args ...any)
 }
 
-// Server drives FedAT over live TCP connections.
+// Server drives the method engine over live TCP connections.
 type Server struct {
 	cfg      ServerConfig
+	codec    codec.Codec
 	ln       net.Listener
-	agg      *core.Aggregator
 	stopping atomic.Bool
 
 	mu      sync.Mutex
 	clients map[uint32]*clientConn
+	fab     *liveFabric
+	regs    []Register // by client id; survives disconnects
+
+	// extraObs subscribe to the engine's run event stream alongside the
+	// built-in recorder (tests, dashboards). Set before calling Run.
+	extraObs []fl.Observer
 }
 
 type clientConn struct {
 	reg  Register
 	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// send writes one frame; a mutex serializes writers (the engine's dispatch
+// and the final shutdown broadcast) so frames never interleave.
+func (cc *clientConn) send(typ byte, payload []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return WriteFrame(cc.conn, typ, payload)
 }
 
 // NewServer binds the listener; call Run to serve.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.NumClients <= 0 || cfg.Rounds <= 0 || cfg.NumTiers <= 0 {
-		return nil, fmt.Errorf("transport: NumClients, Rounds and NumTiers must be positive")
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("transport: NumClients must be positive")
 	}
-	if cfg.NumTiers > cfg.NumClients {
+	// Rounds and NumTiers have engine defaults, but a live deployment
+	// should not start 100 rounds against real clients because of a typo:
+	// require them explicitly, and fail tier-count mistakes before
+	// clients connect rather than after registration.
+	if cfg.Run.Rounds <= 0 || cfg.Run.NumTiers <= 0 {
+		return nil, fmt.Errorf("transport: Run.Rounds and Run.NumTiers must be positive")
+	}
+	if cfg.Run.NumTiers > cfg.NumClients {
 		return nil, fmt.Errorf("transport: more tiers than clients")
 	}
 	if len(cfg.W0) == 0 {
 		return nil, fmt.Errorf("transport: empty initial model")
 	}
-	if cfg.ClientsPerRound <= 0 {
-		cfg.ClientsPerRound = 10
+	if cfg.Method.Name == "" {
+		cfg.Method = fl.Methods["fedat"]
 	}
-	if cfg.Codec == nil {
-		cfg.Codec = codec.NewPolyline(4)
+	if cfg.Run.Codec == nil {
+		cfg.Run.Codec = codec.NewPolyline(4)
+	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = 5 * time.Minute
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -81,49 +118,88 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	agg, err := core.NewAggregator(cfg.NumTiers, cfg.W0, cfg.Weighted)
-	if err != nil {
-		ln.Close()
-		return nil, err
-	}
-	return &Server{cfg: cfg, ln: ln, agg: agg, clients: map[uint32]*clientConn{}}, nil
+	return &Server{
+		cfg:     cfg,
+		codec:   cfg.Run.Codec,
+		ln:      ln,
+		clients: map[uint32]*clientConn{},
+		regs:    make([]Register, cfg.NumClients),
+	}, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Aggregator exposes the server state (for tests and status endpoints).
-func (s *Server) Aggregator() *core.Aggregator { return s.agg }
+// Registered reports how many clients have registered so far.
+func (s *Server) Registered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
 
-// Run accepts registrations, partitions clients into tiers, then runs one
-// synchronous round loop per tier concurrently until the global budget is
-// spent. It returns the final global model.
-func (s *Server) Run() ([]float64, error) {
+// Run accepts registrations, then hands the loop to the method engine over
+// the live fabric: the engine selects cohorts, this server ships them the
+// model and folds what comes back, exactly as the simulator does. It
+// returns the run record and the final global model.
+func (s *Server) Run() (*metrics.Run, []float64, error) {
 	defer s.ln.Close()
 	if err := s.acceptClients(); err != nil {
-		return nil, err
+		s.shutdownClients()
+		return nil, nil, err
 	}
-	tiers := s.partition()
-	s.cfg.Logf("fedat server: %d clients in %d tiers, starting %d rounds", len(s.clients), len(tiers.Members), s.cfg.Rounds)
+	s.cfg.Logf("fed server: %d clients registered; running %s (%s) for %d global updates",
+		s.cfg.NumClients, s.cfg.Method.Name, s.cfg.Method, s.cfg.Run.Rounds)
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(tiers.Members))
-	root := rng.New(s.cfg.Seed)
-	for m := range tiers.Members {
-		wg.Add(1)
-		go func(m int) {
-			defer wg.Done()
-			errs[m] = s.tierLoop(m, tiers.Members[m], root.SplitLabeled(uint64(m)))
-		}(m)
+	fab := &liveFabric{rtClock: newRTClock(), s: s}
+	s.mu.Lock()
+	s.fab = fab
+	s.mu.Unlock()
+	if s.stopping.Load() { // Shutdown raced registration
+		fab.Stop()
 	}
-	wg.Wait()
-	s.shutdownClients()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	// The final model is the last fold's global snapshot (copied: some
+	// update rules reuse the event's buffer).
+	final := fab.InitialWeights()
+	capture := fl.ObserverFunc(func(ev fl.Event) {
+		if e, ok := ev.(fl.TierFoldEvent); ok {
+			final = append(final[:0], e.Global...)
+			s.cfg.Logf("fed server: tier %d folded %d updates (global t=%d)", e.Tier, e.Kept, e.Round)
 		}
+	})
+
+	run, err := s.cfg.Method.RunOn(fab, s.cfg.Run, append([]fl.Observer{capture}, s.extraObs...)...)
+	// Let in-flight collectors finish reading their last responses before
+	// connections close, so idle clients get a clean shutdown frame.
+	fab.drain()
+	s.shutdownClients()
+	if err != nil {
+		return nil, nil, err
 	}
-	return s.agg.Global(), nil
+	return run, final, nil
+}
+
+// Shutdown stops the server from another goroutine: the engine loop halts
+// after its current callback, registration stops accepting, in-flight
+// response reads are interrupted (clients mid-round are dropped rather
+// than waited for), and Run proceeds to notify the remaining registered
+// clients.
+func (s *Server) Shutdown() {
+	s.stopping.Store(true)
+	s.ln.Close()
+	s.mu.Lock()
+	if s.fab != nil {
+		s.fab.Stop()
+	}
+	// Expire any blocked ReadFrame immediately so collectors resolve and
+	// Run's drain cannot stall behind a slow or silent peer. Idle
+	// connections are unaffected (no read in progress server-side) and
+	// still receive a clean shutdown frame.
+	now := time.Now()
+	for _, cc := range s.clients {
+		cc.conn.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptClients() error {
@@ -136,6 +212,9 @@ func (s *Server) acceptClients() error {
 		}
 		conn, err := s.ln.Accept()
 		if err != nil {
+			if s.stopping.Load() {
+				return fmt.Errorf("transport: server shut down during registration (%d/%d clients)", n, s.cfg.NumClients)
+			}
 			return fmt.Errorf("transport: accept: %w", err)
 		}
 		typ, payload, err := ReadFrame(conn)
@@ -148,6 +227,16 @@ func (s *Server) acceptClients() error {
 			conn.Close()
 			continue
 		}
+		// A well-formed registration with a bad id means the fleet is
+		// misconfigured (two clients sharing -id, or an id outside the
+		// engine's 0..N-1 identity space): fail fast instead of waiting
+		// forever for an Nth distinct id that will never arrive.
+		// Connections that never send a valid Register (port scanners,
+		// protocol mismatches) are merely closed above.
+		if int(reg.ClientID) >= s.cfg.NumClients {
+			conn.Close()
+			return fmt.Errorf("transport: client id %d out of range [0,%d)", reg.ClientID, s.cfg.NumClients)
+		}
 		s.mu.Lock()
 		if _, dup := s.clients[reg.ClientID]; dup {
 			s.mu.Unlock()
@@ -155,101 +244,10 @@ func (s *Server) acceptClients() error {
 			return fmt.Errorf("transport: duplicate client id %d", reg.ClientID)
 		}
 		s.clients[reg.ClientID] = &clientConn{reg: reg, conn: conn}
+		s.regs[reg.ClientID] = reg
 		s.mu.Unlock()
-		s.cfg.Logf("fedat server: client %d registered (%d samples, %dms hint)", reg.ClientID, reg.NumSamples, reg.LatencyHintMs)
+		s.cfg.Logf("fed server: client %d registered (%d samples, %dms hint)", reg.ClientID, reg.NumSamples, reg.LatencyHintMs)
 	}
-}
-
-// partition tiers the registered clients by their latency hints, the
-// transport-mode stand-in for the tiering module's profiling round.
-func (s *Server) partition() *tiering.Tiers {
-	ids := make([]uint32, 0, len(s.clients))
-	for id := range s.clients {
-		ids = append(ids, id)
-	}
-	// Deterministic order: sort by id.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	lat := make([]float64, len(ids))
-	for i, id := range ids {
-		lat[i] = float64(s.clients[id].reg.LatencyHintMs)
-	}
-	tiers, err := tiering.Partition(lat, s.cfg.NumTiers)
-	if err != nil {
-		// NumTiers <= NumClients is validated up front; Partition cannot
-		// fail here.
-		panic(err)
-	}
-	// Map positional indices back to client ids.
-	for m := range tiers.Members {
-		for j, pos := range tiers.Members[m] {
-			tiers.Members[m][j] = int(ids[pos])
-		}
-	}
-	return tiers
-}
-
-func (s *Server) tierLoop(m int, members []int, selRNG *rng.RNG) error {
-	for !s.stopping.Load() && s.agg.Rounds() < s.cfg.Rounds {
-		k := s.cfg.ClientsPerRound
-		if k > len(members) {
-			k = len(members)
-		}
-		if k == 0 {
-			return nil
-		}
-		sel := selRNG.Choose(len(members), k)
-		global := s.agg.Global()
-		msg, err := codec.MarshalModel(s.cfg.Codec, s.cfg.Shapes, global)
-		if err != nil {
-			return err
-		}
-		round := uint64(s.agg.Rounds())
-		// Push to every selected client first so they train concurrently,
-		// then collect; the synchronous barrier is the collect loop.
-		pushed := make([]*clientConn, 0, k)
-		for _, pos := range sel {
-			cc := s.client(uint32(members[pos]))
-			if cc == nil {
-				continue
-			}
-			if err := WriteFrame(cc.conn, MsgModelPush, ModelPush(round, msg)); err != nil {
-				s.dropClient(cc, err)
-				continue
-			}
-			pushed = append(pushed, cc)
-		}
-		updates := make([]core.ClientUpdate, 0, len(pushed))
-		for _, cc := range pushed {
-			typ, payload, err := ReadFrame(cc.conn)
-			if err != nil || typ != MsgModelUpdate {
-				s.dropClient(cc, err)
-				continue
-			}
-			_, numSamples, _, model, err := ParseModelUpdate(payload)
-			if err != nil {
-				s.dropClient(cc, err)
-				continue
-			}
-			_, w, err := codec.UnmarshalModel(model)
-			if err != nil || numSamples == 0 {
-				s.dropClient(cc, err)
-				continue
-			}
-			updates = append(updates, core.ClientUpdate{Weights: w, N: int(numSamples)})
-		}
-		if len(updates) == 0 {
-			continue
-		}
-		if _, err := s.agg.UpdateTier(m, updates); err != nil {
-			return err
-		}
-		s.cfg.Logf("fedat server: tier %d finished round (global t=%d)", m, s.agg.Rounds())
-	}
-	return nil
 }
 
 func (s *Server) client(id uint32) *clientConn {
@@ -267,7 +265,7 @@ func (s *Server) dropClient(cc *clientConn, err error) {
 	delete(s.clients, cc.reg.ClientID)
 	cc.conn.Close()
 	if err != nil {
-		s.cfg.Logf("fedat server: dropping client %d: %v", cc.reg.ClientID, err)
+		s.cfg.Logf("fed server: dropping client %d: %v", cc.reg.ClientID, err)
 	}
 }
 
@@ -276,8 +274,8 @@ func (s *Server) shutdownClients() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, cc := range s.clients {
-		if err := WriteFrame(cc.conn, MsgShutdown, nil); err != nil {
-			log.Printf("transport: shutdown to client %d: %v", cc.reg.ClientID, err)
+		if err := cc.send(MsgShutdown, nil); err != nil {
+			s.cfg.Logf("fed server: shutdown to client %d: %v", cc.reg.ClientID, err)
 		}
 		cc.conn.Close()
 	}

@@ -2,15 +2,20 @@ package transport
 
 import (
 	"bytes"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/simnet"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -64,9 +69,10 @@ func TestRegisterRoundTrip(t *testing.T) {
 
 func TestModelMessagesRoundTrip(t *testing.T) {
 	model := []byte("model-bytes")
-	round, m, err := ParseModelPush(ModelPush(42, model))
-	if err != nil || round != 42 || string(m) != string(model) {
-		t.Fatalf("push corrupted: %v %d %q", err, round, m)
+	spec := PushSpec{Round: 42, Epochs: 3, Batch: 10, Lambda: 0.4}
+	gotSpec, m, err := ParseModelPush(ModelPush(spec, model))
+	if err != nil || gotSpec != spec || string(m) != string(model) {
+		t.Fatalf("push corrupted: %v %+v %q", err, gotSpec, m)
 	}
 	cid, n, rd, m2, err := ParseModelUpdate(ModelUpdate(3, 99, 42, model))
 	if err != nil || cid != 3 || n != 99 || rd != 42 || string(m2) != string(model) {
@@ -80,118 +86,636 @@ func TestModelMessagesRoundTrip(t *testing.T) {
 	}
 }
 
-// TestEndToEnd runs a real FedAT deployment over localhost TCP: one server,
-// six clients in two latency tiers, six global rounds. It validates that
-// the networked system and the in-memory core agree on the protocol: all
-// rounds complete, every tier contributes, and the model actually moves.
-func TestEndToEnd(t *testing.T) {
-	fed, err := dataset.FashionLike(6, 0, dataset.ScaleSmall, 21)
+// ---------------------------------------------------------------------------
+// Live-fabric helpers
+
+// liveFederation is one in-process deployment testbed: a synthetic
+// federation plus the model factory both sides derive from the shared seed.
+type liveFederation struct {
+	fed     *dataset.Federated
+	factory fl.ModelFactory
+	shapes  []codec.ShapeInfo
+	n       int
+}
+
+func newLiveFederation(t *testing.T, n, classesPer int, seed uint64) *liveFederation {
+	t.Helper()
+	fed, err := dataset.FashionLike(n, classesPer, dataset.ScaleSmall, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	factory := func(seed uint64) *nn.Network {
-		return nn.NewMLP(rng.New(seed), fed.InDim, 8, fed.Classes)
+	factory := func(s uint64) *nn.Network {
+		return nn.NewMLP(rng.New(s), fed.InDim, 8, fed.Classes)
 	}
-	ref := factory(1)
+	ref := factory(seed)
 	shapes := make([]codec.ShapeInfo, 0)
 	for _, s := range ref.ParamShapes() {
 		shapes = append(shapes, codec.ShapeInfo{Name: s.Name, Dims: s.Dims})
 	}
+	return &liveFederation{fed: fed, factory: factory, shapes: shapes, n: n}
+}
 
-	srv, err := NewServer(ServerConfig{
-		Addr:            "127.0.0.1:0",
-		NumClients:      6,
-		NumTiers:        2,
-		Rounds:          6,
+// runLive deploys the method over loopback TCP: one server, lf.n in-process
+// clients (ids 0..n-1, two latency-hint tiers), and returns the run record,
+// the final global model, and the per-client errors.
+func (lf *liveFederation) runLive(t *testing.T, method fl.Method, cfg fl.RunConfig, eval *fl.Evaluator) (*metrics.Run, []float64, []error) {
+	t.Helper()
+	return lf.runLiveObserved(t, method, cfg, eval)
+}
+
+func liveCfg(seed uint64) fl.RunConfig {
+	return fl.RunConfig{
+		Rounds:          3,
 		ClientsPerRound: 3,
-		Weighted:        true,
-		Codec:           codec.NewPolyline(4),
-		Shapes:          shapes,
-		W0:              ref.WeightsCopy(),
-		Seed:            5,
-	})
-	if err != nil {
-		t.Fatal(err)
+		LocalEpochs:     1,
+		BatchSize:       8,
+		Lambda:          0.4,
+		LearningRate:    0.01,
+		NumTiers:        2,
+		Seed:            seed,
 	}
+}
 
-	var wg sync.WaitGroup
-	clientErrs := make([]error, 6)
-	for i := 0; i < 6; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			hint := uint32(10)
-			if i >= 3 {
-				hint = 500 // slow tier
-			}
-			clientErrs[i] = RunClient(ClientConfig{
-				Addr:          srv.Addr(),
-				ID:            uint32(i),
-				LatencyHintMs: hint,
-				Data:          fed.Clients[i],
-				Net:           factory(1),
-				Opt:           opt.NewAdam(0.01),
-				Epochs:        1,
-				BatchSize:     8,
-				Lambda:        0.4,
-				Seed:          9,
-			})
-		}(i)
+func moved(w0, w []float64) bool {
+	for i := range w {
+		if w[i] != w0[i] {
+			return true
+		}
 	}
+	return false
+}
 
-	done := make(chan struct{})
-	var final []float64
-	var srvErr error
-	go func() {
-		final, srvErr = srv.Run()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("server did not finish in time")
+// ---------------------------------------------------------------------------
+// End-to-end deployments
+
+// TestEndToEndFedAT runs the registry's FedAT — tier-paced, Eq. 5 fold —
+// over real localhost TCP, driven by the same policy engine as the
+// simulator. All tiers contribute, the budget completes and the model moves.
+func TestEndToEndFedAT(t *testing.T) {
+	lf := newLiveFederation(t, 6, 0, 21)
+	cfg := liveCfg(5)
+	cfg.Rounds = 6
+	var tierFolds [2]int
+	run, final, clientErrs := lf.runLiveObserved(t, fl.Methods["fedat"], cfg, nil, fl.ObserverFunc(func(ev fl.Event) {
+		if e, ok := ev.(fl.TierFoldEvent); ok && e.Tier >= 0 && e.Tier < 2 {
+			tierFolds[e.Tier]++
+		}
+	}))
+	if run.GlobalRounds < cfg.Rounds {
+		t.Fatalf("only %d global rounds completed", run.GlobalRounds)
 	}
-	wg.Wait()
-
-	if srvErr != nil {
-		t.Fatalf("server error: %v", srvErr)
+	for m, c := range tierFolds {
+		if c == 0 {
+			t.Fatalf("tier %d never contributed: %v", m, tierFolds)
+		}
+	}
+	if !moved(lf.factory(cfg.Seed).WeightsCopy(), final) {
+		t.Fatal("global model never moved")
+	}
+	if run.UpBytes <= 0 || run.DownBytes <= 0 {
+		t.Fatalf("no communication recorded: up=%d down=%d", run.UpBytes, run.DownBytes)
 	}
 	for i, err := range clientErrs {
 		if err != nil {
 			t.Fatalf("client %d error: %v", i, err)
 		}
 	}
-	if got := srv.Aggregator().Rounds(); got < 6 {
-		t.Fatalf("only %d global rounds completed", got)
+}
+
+// runLiveObserved is the shared deployment body: one server (with optional
+// extra observers on its engine), lf.n honest in-process clients split over
+// two latency-hint tiers, and a watchdog on the server's completion.
+func (lf *liveFederation) runLiveObserved(t *testing.T, method fl.Method, cfg fl.RunConfig, eval *fl.Evaluator, obs ...fl.Observer) (*metrics.Run, []float64, []error) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: lf.n,
+		Method:     method,
+		Run:        cfg,
+		Shapes:     lf.shapes,
+		W0:         lf.factory(cfg.Seed).WeightsCopy(),
+		Dataset:    lf.fed.Name,
+		Eval:       eval,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	counts := srv.Aggregator().TierCounts()
-	for m, c := range counts {
-		if c == 0 {
-			t.Fatalf("tier %d never contributed: %v", m, counts)
-		}
+	srv.extraObs = obs
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, lf.n)
+	for i := 0; i < lf.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hint := uint32(10)
+			if i >= lf.n/2 {
+				hint = 500 // slow tier
+			}
+			clientErrs[i] = RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: hint,
+				Data: lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Codec: cfg.Codec, Seed: cfg.Seed,
+			})
+		}(i)
 	}
-	moved := false
-	w0 := ref.WeightsCopy()
-	for i := range final {
-		if final[i] != w0[i] {
-			moved = true
-			break
-		}
+
+	type outcome struct {
+		run   *metrics.Run
+		final []float64
+		err   error
 	}
-	if !moved {
-		t.Fatal("global model never moved")
+	done := make(chan outcome, 1)
+	go func() {
+		run, final, err := srv.Run()
+		done <- outcome{run, final, err}
+	}()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not finish in time")
+	}
+	wg.Wait()
+	if out.err != nil {
+		t.Fatalf("server error: %v", out.err)
+	}
+	return out.run, out.final, clientErrs
+}
+
+// TestAllRegistryMethodsOverLoopback deploys every method in the registry —
+// synchronous, tier-paced and wait-free alike — over loopback TCP. The
+// acceptance bar for the fabric abstraction: any composition the simulator
+// runs, the live path runs too, with no per-method transport code.
+func TestAllRegistryMethodsOverLoopback(t *testing.T) {
+	for _, name := range fl.MethodNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			lf := newLiveFederation(t, 4, 0, 31)
+			cfg := liveCfg(7)
+			cfg.Rounds = 2
+			cfg.ClientsPerRound = 2
+			// TiFL's accuracy-driven selection wants a server-side
+			// evaluation harness; give every method one so Eval events
+			// flow on the live fabric too.
+			eval := fl.NewDataEvaluator(lf.factory, cfg.Seed, lf.fed.Clients)
+			run, final, clientErrs := lf.runLive(t, fl.Methods[name], cfg, eval)
+			if run.GlobalRounds < cfg.Rounds {
+				t.Fatalf("%s: only %d global rounds completed", name, run.GlobalRounds)
+			}
+			if len(run.Points) == 0 {
+				t.Fatalf("%s: no evaluations recorded on the live fabric", name)
+			}
+			if !moved(lf.factory(cfg.Seed).WeightsCopy(), final) {
+				t.Fatalf("%s: global model never moved", name)
+			}
+			for i, err := range clientErrs {
+				if err != nil {
+					t.Fatalf("%s: client %d error: %v", name, i, err)
+				}
+			}
+		})
 	}
 }
 
+// captureFinal returns an observer recording the latest global model.
+func captureFinal(final *[]float64) fl.Observer {
+	return fl.ObserverFunc(func(ev fl.Event) {
+		if e, ok := ev.(fl.TierFoldEvent); ok {
+			*final = append((*final)[:0], e.Global...)
+		}
+	})
+}
+
+// TestLiveMatchesSimulated is the cross-fabric contract: a sync-paced
+// method run over real TCP produces bit-identical final weights to an
+// in-process simulator run under identical selection — same seed, same
+// codec channel, same local schedules, no drops. The engine makes every
+// policy decision on both fabrics; only execution differs.
+func TestLiveMatchesSimulated(t *testing.T) {
+	for _, name := range []string{"fedavg", "fedprox"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			const n = 6
+			seed := uint64(13)
+			lf := newLiveFederation(t, n, 0, seed)
+			cfg := liveCfg(seed)
+			cfg.Rounds = 3
+			cfg.Codec = codec.NewPolyline(4)
+
+			// Simulated run: same federation, stable population.
+			cluster, err := simnet.NewCluster(simnet.ClusterConfig{NumClients: n, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := fl.NewEnv(lf.fed, cluster, lf.factory, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var simFinal []float64
+			if _, err := fl.Methods[name].Run(env, captureFinal(&simFinal)); err != nil {
+				t.Fatal(err)
+			}
+
+			// Live run over loopback TCP.
+			_, liveFinal, clientErrs := lf.runLive(t, fl.Methods[name], cfg, nil)
+			for i, err := range clientErrs {
+				if err != nil {
+					t.Fatalf("client %d error: %v", i, err)
+				}
+			}
+
+			if len(simFinal) == 0 || len(simFinal) != len(liveFinal) {
+				t.Fatalf("weight vectors missing or mismatched: sim=%d live=%d", len(simFinal), len(liveFinal))
+			}
+			for i := range simFinal {
+				if simFinal[i] != liveFinal[i] {
+					t.Fatalf("%s: weight %d diverged between fabrics: sim=%v live=%v", name, i, simFinal[i], liveFinal[i])
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failure modes
+
+// flakyClient registers properly, then misbehaves on the first push.
+func flakyClient(t *testing.T, addr string, id uint32, respond func(conn net.Conn, payload []byte)) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("flaky client dial: %v", err)
+		return
+	}
+	defer conn.Close()
+	reg := Register{ClientID: id, NumSamples: 50, LatencyHintMs: 10}
+	if err := WriteFrame(conn, MsgRegister, reg.Marshal()); err != nil {
+		t.Errorf("flaky client register: %v", err)
+		return
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil || typ != MsgModelPush {
+		return // server may already be shutting down
+	}
+	respond(conn, payload)
+}
+
+// runWithFlaky deploys fedavg with clients 0,1 honest and client 2 driven
+// by the given misbehavior, asserting the run completes without it.
+func runWithFlaky(t *testing.T, respond func(conn net.Conn, payload []byte)) {
+	lf := newLiveFederation(t, 3, 0, 41)
+	cfg := liveCfg(3)
+	cfg.Rounds = 3
+	cfg.ClientsPerRound = 3
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 3, Method: fl.Methods["fedavg"], Run: cfg,
+		Shapes: lf.shapes, W0: lf.factory(cfg.Seed).WeightsCopy(), Dataset: lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	honestErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			honestErrs[i] = RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: 10,
+				Data: lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+			})
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flakyClient(t, srv.Addr(), 2, respond)
+	}()
+
+	run, final, err := srv.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server error: %v", err)
+	}
+	if run.GlobalRounds < cfg.Rounds {
+		t.Fatalf("only %d global rounds completed after client failure", run.GlobalRounds)
+	}
+	if !moved(lf.factory(cfg.Seed).WeightsCopy(), final) {
+		t.Fatal("global model never moved")
+	}
+	for i, err := range honestErrs {
+		if err != nil {
+			t.Fatalf("honest client %d error: %v", i, err)
+		}
+	}
+}
+
+// TestClientDisconnectMidRound: a selected client vanishes between the
+// model push and its response. The round folds without it and training
+// continues on the surviving population.
+func TestClientDisconnectMidRound(t *testing.T) {
+	runWithFlaky(t, func(conn net.Conn, _ []byte) {
+		conn.Close() // hang up instead of answering the push
+	})
+}
+
+// TestDecodeErrorOnPush: a client answers the push with an update whose
+// model payload is garbage. The server drops it and the round folds with
+// the remaining updates.
+func TestDecodeErrorOnPush(t *testing.T) {
+	runWithFlaky(t, func(conn net.Conn, payload []byte) {
+		spec, _, err := ParseModelPush(payload)
+		if err != nil {
+			return
+		}
+		WriteFrame(conn, MsgModelUpdate, ModelUpdate(2, 50, spec.Round, []byte{0xde, 0xad}))
+	})
+}
+
+// TestSilentPeerTimesOut: a client that accepts the model push and then
+// goes silent — without closing its socket — must not stall the round
+// forever. The round timeout drops it and training completes on the
+// survivors.
+func TestSilentPeerTimesOut(t *testing.T) {
+	lf := newLiveFederation(t, 3, 0, 41)
+	cfg := liveCfg(3)
+	cfg.Rounds = 2
+	cfg.ClientsPerRound = 3
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 3, Method: fl.Methods["fedavg"], Run: cfg,
+		Shapes: lf.shapes, W0: lf.factory(cfg.Seed).WeightsCopy(), Dataset: lf.fed.Name,
+		RoundTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	honestErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			honestErrs[i] = RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: 10,
+				Data: lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+			})
+		}(i)
+	}
+	silent := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flakyClient(t, srv.Addr(), 2, func(net.Conn, []byte) {
+			<-silent // hold the socket open, never answer
+		})
+	}()
+
+	done := make(chan struct{})
+	var run *metrics.Run
+	var srvErr error
+	go func() {
+		run, _, srvErr = srv.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("silent peer stalled the server")
+	}
+	close(silent)
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server error: %v", srvErr)
+	}
+	if run.GlobalRounds < cfg.Rounds {
+		t.Fatalf("only %d global rounds completed alongside a silent peer", run.GlobalRounds)
+	}
+	for i, err := range honestErrs {
+		if err != nil {
+			t.Fatalf("honest client %d error: %v", i, err)
+		}
+	}
+}
+
+// TestDuplicateClientIDFailsFast: two clients registering the same id is a
+// fleet misconfiguration; the server errors out instead of waiting forever
+// for a distinct id that will never arrive.
+func TestDuplicateClientIDFailsFast(t *testing.T) {
+	lf := newLiveFederation(t, 2, 0, 71)
+	cfg := liveCfg(3)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 2, Method: fl.Methods["fedavg"], Run: cfg,
+		Shapes: lf.shapes, W0: lf.factory(cfg.Seed).WeightsCopy(), Dataset: lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Run()
+		errc <- err
+	}()
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		reg := Register{ClientID: 0, NumSamples: 10, LatencyHintMs: 10} // same id twice
+		if err := WriteFrame(conn, MsgRegister, reg.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "duplicate client id") {
+			t.Fatalf("Run returned %v, want duplicate-id error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung on a duplicate registration")
+	}
+}
+
+// TestShutdownMidRun: Shutdown during training interrupts in-flight
+// response reads, so Run returns promptly instead of stalling behind the
+// round in progress; the partial run record comes back without error.
+func TestShutdownMidRun(t *testing.T) {
+	lf := newLiveFederation(t, 3, 0, 81)
+	cfg := liveCfg(3)
+	cfg.Rounds = 100000 // far more than can complete; Shutdown must end it
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 3, Method: fl.Methods["fedavg"], Run: cfg,
+		Shapes: lf.shapes, W0: lf.factory(cfg.Seed).WeightsCopy(), Dataset: lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mid-round clients may be dropped by the interrupt; errors
+			// here are expected and not asserted.
+			RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: 10,
+				ArtificialDelay: 50 * time.Millisecond,
+				Data:            lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+			})
+		}(i)
+	}
+	type outcome struct {
+		run *metrics.Run
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		run, _, err := srv.Run()
+		done <- outcome{run, err}
+	}()
+	time.Sleep(300 * time.Millisecond) // let a few rounds fly
+	srv.Shutdown()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("server error after mid-run shutdown: %v", out.err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run did not return promptly after mid-run Shutdown")
+	}
+	wg.Wait()
+}
+
+// TestShutdownWithRegisteredClients: the operator shuts the server down
+// while registration is still open. Run returns an error that says so, and
+// the already-registered clients receive a clean shutdown frame instead of
+// hanging forever.
+func TestShutdownWithRegisteredClients(t *testing.T) {
+	lf := newLiveFederation(t, 3, 0, 51)
+	cfg := liveCfg(3)
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 3, Method: fl.Methods["fedavg"], Run: cfg,
+		Shapes: lf.shapes, W0: lf.factory(cfg.Seed).WeightsCopy(), Dataset: lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, 2)
+	for i := 0; i < 2; i++ { // only 2 of the expected 3 ever show up
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: 10,
+				Data: lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+			})
+		}(i)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Run()
+		errc <- err
+	}()
+	for i := 0; srv.Registered() < 2; i++ {
+		if i > 500 {
+			t.Fatal("clients never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Shutdown()
+
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "shut down during registration") {
+			t.Fatalf("Run returned %v, want shutdown-during-registration error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not return after Shutdown")
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("registered client %d did not shut down cleanly: %v", i, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
 func TestServerValidation(t *testing.T) {
-	if _, err := NewServer(ServerConfig{NumClients: 0, Rounds: 1, NumTiers: 1, W0: []float64{1}}); err == nil {
+	valid := fl.RunConfig{Rounds: 1, NumTiers: 1}
+	if _, err := NewServer(ServerConfig{NumClients: 0, Run: valid, W0: []float64{1}}); err == nil {
 		t.Fatal("zero clients accepted")
 	}
-	if _, err := NewServer(ServerConfig{NumClients: 2, Rounds: 1, NumTiers: 5, W0: []float64{1}, Addr: "127.0.0.1:0"}); err == nil {
+	if _, err := NewServer(ServerConfig{NumClients: 2, Run: valid, Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	// A live deployment must not run engine defaults off a typo: rounds
+	// and tiers are required explicitly, and tier-count mistakes fail
+	// before any client connects.
+	if _, err := NewServer(ServerConfig{NumClients: 2, Run: fl.RunConfig{NumTiers: 1}, W0: []float64{1}}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := NewServer(ServerConfig{NumClients: 2, Run: fl.RunConfig{Rounds: 1, NumTiers: 5}, W0: []float64{1}}); err == nil {
 		t.Fatal("more tiers than clients accepted")
 	}
-	if _, err := NewServer(ServerConfig{NumClients: 2, Rounds: 1, NumTiers: 1, Addr: "127.0.0.1:0"}); err == nil {
-		t.Fatal("empty model accepted")
+}
+
+// TestEngineErrorSurfacesAndShutsDown: an engine-level composition failure
+// (a selector without the capability its pacer needs) comes back through
+// Server.Run as an error, and registered clients are still released
+// cleanly instead of hanging.
+func TestEngineErrorSurfacesAndShutsDown(t *testing.T) {
+	lf := newLiveFederation(t, 2, 0, 61)
+	cfg := liveCfg(3)
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 2,
+		// "all" is not a RoundSelector: sync pacing must reject it.
+		Method: fl.Method{Name: "Broken", Select: "all", Pace: "sync", Update: "avg"},
+		Run:    cfg,
+		Shapes: lf.shapes, W0: lf.factory(cfg.Seed).WeightsCopy(), Dataset: lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	clientErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clientErrs[i] = RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: 10,
+				Data: lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+			})
+		}(i)
+	}
+	_, _, err = srv.Run()
+	wg.Wait()
+	if err == nil {
+		t.Fatal("invalid composition accepted by the live engine")
+	}
+	for i, cerr := range clientErrs {
+		if cerr != nil {
+			t.Fatalf("client %d not released cleanly after engine error: %v", i, cerr)
+		}
 	}
 }
 
