@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory tooling for the BenchmarkMethod suite.
+
+Two subcommands, shared by CI and local use:
+
+  parse <bench.out> <out.json>
+      Convert `go test -bench BenchmarkMethod/` output into the BENCH JSON
+      schema ({"suite": ..., "results": [{method, iterations, ns_per_op,
+      bytes_per_op, allocs_per_op}]}).
+
+  check <current.json> <baseline.json> [threshold]
+      Fail (exit 1) when any method's ns/op regressed more than the
+      threshold factor (default 1.25, i.e. >25% slower) against the
+      committed baseline, or when the baseline lists a method the current
+      suite no longer has (stale baseline — regenerate it).
+
+      Ratios are normalized by the MEDIAN ratio across all methods
+      before gating: the baseline and the CI runner are different
+      machines, so a uniform speed difference (hardware, load) cancels
+      out and the gate fires on a METHOD regressing relative to the
+      suite — which is what a code change looks like. The median (not a
+      mean) keeps one method's genuine big win or loss from dragging the
+      normalizer and mis-flagging the others. The raw host-speed factor
+      is printed; a genuinely uniform slowdown shows up there and in the
+      per-method raw columns, not as a gate failure.
+
+Regenerate the committed baseline after a deliberate perf change:
+
+  go test -run '^$' -bench 'BenchmarkMethod/' -benchtime 5x -count 1 . > bench.out
+  python3 ci/bench_gate.py parse bench.out BENCH_baseline.json
+"""
+import json
+import re
+import sys
+
+LINE = re.compile(
+    r"BenchmarkMethod/(\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op"
+    r"\s+(\d+) B/op\s+(\d+) allocs/op"
+)
+
+
+def parse(bench_out, out_json):
+    rows = []
+    with open(bench_out) as f:
+        for line in f:
+            m = LINE.match(line)
+            if m:
+                rows.append({
+                    "method": m.group(1),
+                    "iterations": int(m.group(2)),
+                    "ns_per_op": float(m.group(3)),
+                    "bytes_per_op": int(m.group(4)),
+                    "allocs_per_op": int(m.group(5)),
+                })
+    if not rows:
+        sys.exit("bench_gate: no benchmark lines parsed from %s" % bench_out)
+    with open(out_json, "w") as f:
+        json.dump({"suite": "BenchmarkMethod", "results": rows}, f, indent=2)
+        f.write("\n")
+    print("bench_gate: wrote %d methods to %s" % (len(rows), out_json))
+
+
+def check(current_json, baseline_json, threshold):
+    cur = {r["method"]: r for r in json.load(open(current_json))["results"]}
+    base = {r["method"]: r for r in json.load(open(baseline_json))["results"]}
+    failures = []
+    common = [m for m in sorted(base) if m in cur]
+    for method in sorted(set(base) - set(cur)):
+        failures.append(
+            "%s is in the baseline but not in the current suite — "
+            "regenerate BENCH_baseline.json (see ci/bench_gate.py)" % method)
+    ratios = {}
+    for method in common:
+        b, c = base[method]["ns_per_op"], cur[method]["ns_per_op"]
+        ratios[method] = c / b if b else float("inf")
+    # Host-speed normalization: the MEDIAN ratio is the uniform
+    # machine-speed factor between the baseline box and this one; dividing
+    # it out leaves each method's movement relative to the suite. Median
+    # rather than mean, so a single method genuinely getting much faster
+    # (or slower) cannot drag the normalizer and flag the others.
+    host = 1.0
+    if ratios:
+        rs = sorted(ratios.values())
+        mid = len(rs) // 2
+        host = rs[mid] if len(rs) % 2 else (rs[mid - 1] + rs[mid]) / 2
+    print("host speed factor vs baseline: %.2fx" % host)
+    print("%-16s %14s %14s %7s %11s" % ("method", "baseline ns/op", "current ns/op", "raw", "normalized"))
+    for method in common:
+        b, c = base[method]["ns_per_op"], cur[method]["ns_per_op"]
+        norm = ratios[method] / host
+        flag = ""
+        if norm > threshold:
+            flag = "  << REGRESSION"
+            failures.append("%s regressed %.0f%% vs the suite (%.0f -> %.0f ns/op raw)"
+                            % (method, (norm - 1) * 100, b, c))
+        print("%-16s %14.0f %14.0f %6.2fx %9.2fx%s" % (method, b, c, ratios[method], norm, flag))
+    for method in sorted(set(cur) - set(base)):
+        print("%-16s %14s %14.0f   (new; not gated — add to the baseline)"
+              % (method, "-", cur[method]["ns_per_op"]))
+    if failures:
+        print("\nbench_gate: FAIL")
+        for f in failures:
+            print("  - " + f)
+        sys.exit(1)
+    print("\nbench_gate: ok (threshold %.2fx, host-normalized)" % threshold)
+
+
+def main():
+    if len(sys.argv) >= 4 and sys.argv[1] == "parse":
+        parse(sys.argv[2], sys.argv[3])
+    elif len(sys.argv) >= 4 and sys.argv[1] == "check":
+        threshold = float(sys.argv[4]) if len(sys.argv) > 4 else 1.25
+        check(sys.argv[2], sys.argv[3], threshold)
+    else:
+        sys.exit(__doc__)
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,8 @@ func main() {
 		prec     = flag.Int("precision", 4, "polyline compression precision (<=0 = raw)")
 		epochs   = flag.Int("epochs", 3, "local epochs per round (shipped to clients)")
 		batch    = flag.Int("batch", 10, "local batch size (shipped to clients)")
-		lambda   = flag.Float64("lambda", 0.4, "proximal coefficient for Prox methods (Eq. 3)")
+		lambda   = flag.Float64("lambda", 0, "proximal coefficient for Prox methods (Eq. 3); 0 inherits the engine default, negative disables")
+		retier   = flag.Int("retier-every", 0, "re-tier from measured client latencies every N global updates (0 = static hint tiers)")
 
 		// Method composition, mirroring fedsim -compose.
 		method  = flag.String("method", "fedat", "registry method to run: "+strings.Join(fl.MethodNames(), ", "))
@@ -54,6 +55,15 @@ func main() {
 		name    = flag.String("name", "", "display name for the composed method")
 	)
 	flag.Parse()
+
+	// An EXPLICIT "-lambda 0" has always meant "no proximal term" and must
+	// keep meaning that, even though an unset flag (also 0) now inherits
+	// the engine default.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "lambda" && *lambda == 0 {
+			*lambda = fl.LambdaOff
+		}
+	})
 
 	m, err := fl.Compose(*method, *selName, *pacer, *agg, *name)
 	if err != nil {
@@ -83,7 +93,8 @@ func main() {
 			NumTiers:        *tiers,
 			LocalEpochs:     *epochs,
 			BatchSize:       *batch,
-			Lambda:          *lambda,
+			Lambda:          *lambda, // 0 → fl.DefaultLambda via withDefaults
+			RetierEvery:     *retier,
 			Codec:           wire,
 			Seed:            *seed,
 		},

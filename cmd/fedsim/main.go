@@ -53,6 +53,12 @@ func main() {
 		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed")
 		name    = flag.String("name", "", "display name for the composed method (default derived from overrides)")
 		trace   = flag.Bool("trace", false, "with -compose, print the run's event stream to stderr")
+
+		// Dynamic-population knobs (compose mode): time-varying client
+		// behavior plus runtime re-tiering; see the 'dynamics' experiment.
+		drift  = flag.Float64("drift", 0, "with -compose, speed-drift magnitude per interval (e.g. 0.45; 0 = static speeds)")
+		churn  = flag.Float64("churn", 0, "with -compose, fraction of clients cycling offline (e.g. 0.2; 0 = no churn)")
+		retier = flag.Int("retier-every", 0, "with -compose, re-tier from observed latencies every N global updates (0 = static tiers)")
 	)
 	flag.Parse()
 
@@ -70,14 +76,19 @@ func main() {
 		}
 		return
 	}
+	dyn := experiments.ComposeDynamics{Drift: *drift, Churn: *churn, RetierEvery: *retier}
 	if *compose != "" {
-		os.Exit(runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace))
+		os.Exit(runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace, dyn))
 	}
 	for _, f := range []struct{ name, val string }{{"-select", *selName}, {"-pacer", *pacer}, {"-agg", *agg}} {
 		if f.val != "" {
 			fmt.Fprintf(os.Stderr, "fedsim: %s requires -compose\n", f.name)
 			os.Exit(2)
 		}
+	}
+	if dyn != (experiments.ComposeDynamics{}) {
+		fmt.Fprintln(os.Stderr, "fedsim: -drift/-churn/-retier-every require -compose (the 'dynamics' experiment carries its own)")
+		os.Exit(2)
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "fedsim: -exp required (use -list to see experiments)")
@@ -206,7 +217,7 @@ func main() {
 // policy overrides, runs it on the standard ablation testbed at the given
 // preset, and prints a run summary. It returns the process exit code;
 // composition and aggregation errors surface here rather than panicking.
-func runComposition(base, sel, pacer, agg, name, preset string, trace bool) int {
+func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn experiments.ComposeDynamics) int {
 	p, err := experiments.PresetByName(preset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
@@ -235,12 +246,15 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool) int 
 			case fl.EvalEvent:
 				fmt.Fprintf(os.Stderr, "t=%8.1fs  eval  %4d  acc=%.3f loss=%.3f var=%.2e\n",
 					e.Time, e.Round, e.Result.Acc, e.Result.Loss, e.Result.Variance)
+			case fl.RetierEvent:
+				fmt.Fprintf(os.Stderr, "t=%8.1fs  retier %3d  %d clients migrated\n",
+					e.Time, e.Round, e.Migrations)
 			}
 		}))
 	}
 
 	start := time.Now()
-	run, err := experiments.RunComposed(p, m, obs...)
+	run, err := experiments.RunComposedDynamics(p, m, dyn, obs...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
 		return 1
@@ -260,6 +274,9 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool) int 
 	fmt.Printf("sec/update        %.1fs (%.1fs virtual total)\n", perUpdate, finalTime)
 	fmt.Printf("communication     %.2f MB up, %.2f MB down\n",
 		float64(run.UpBytes)/1e6, float64(run.DownBytes)/1e6)
+	if run.Retiers > 0 {
+		fmt.Printf("re-tiering        %d passes, %d client migrations\n", run.Retiers, run.TierMigrations)
+	}
 	fmt.Fprintf(os.Stderr, "(completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return 0
 }

@@ -120,10 +120,10 @@ func runConfig(p Preset, d dsSpec) fl.RunConfig {
 		ClientsPerRound: 10,
 		LocalEpochs:     3,
 		BatchSize:       10,
-		Lambda:          0.4,
-		LearningRate:    0.005,
-		NumTiers:        5,
-		EvalEvery:       p.EvalEvery,
+		// Lambda unset: inherits fl.DefaultLambda (the paper's 0.4).
+		LearningRate: 0.005,
+		NumTiers:     5,
+		EvalEvery:    p.EvalEvery,
 		// ~35s is the typical synchronous round under the calibrated
 		// compute model, so this budget lets FedAvg finish its cap.
 		MaxSimTime: float64(rounds) * 35,
@@ -170,12 +170,19 @@ func applyRoundBudget(cfg *fl.RunConfig, m fl.Method) {
 // buildEnv assembles a ready environment for (preset, dataset spec) with
 // optional RunConfig mutation.
 func buildEnv(p Preset, d dsSpec, mutate func(*fl.RunConfig)) (*fl.Env, error) {
-	return buildEnvParts(p, d, nil, mutate)
+	return buildEnvFull(p, d, nil, mutate, nil)
 }
 
 // buildEnvParts is buildEnv with an explicit tier-size distribution (the
 // Figure 10 configurations).
 func buildEnvParts(p Preset, d dsSpec, partSizes []int, mutate func(*fl.RunConfig)) (*fl.Env, error) {
+	return buildEnvFull(p, d, partSizes, mutate, nil)
+}
+
+// buildEnvFull is the common body: explicit tier sizes, a RunConfig
+// mutation, and a ClusterConfig mutation (the dynamics experiments switch
+// on drift/churn behavior through the latter).
+func buildEnvFull(p Preset, d dsSpec, partSizes []int, mutate func(*fl.RunConfig), cmutate func(*simnet.ClusterConfig)) (*fl.Env, error) {
 	fed, err := buildFed(p, d)
 	if err != nil {
 		return nil, err
@@ -184,7 +191,11 @@ func buildEnvParts(p Preset, d dsSpec, partSizes []int, mutate func(*fl.RunConfi
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	cluster, err := simnet.NewCluster(clusterConfig(p, len(fed.Clients), partSizes))
+	ccfg := clusterConfig(p, len(fed.Clients), partSizes)
+	if cmutate != nil {
+		cmutate(&ccfg)
+	}
+	cluster, err := simnet.NewCluster(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +214,7 @@ func simulateCell(c cell) (*metrics.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	env, err := buildEnv(c.p, c.d, func(cfg *fl.RunConfig) {
+	env, err := buildEnvFull(c.p, c.d, nil, func(cfg *fl.RunConfig) {
 		if c.method == "fedat" {
 			// §6: FedAT uses polyline precision 4 throughout the
 			// evaluation; baselines transmit raw models. Experiment
@@ -214,7 +225,7 @@ func simulateCell(c cell) (*metrics.Run, error) {
 			c.mutate(cfg)
 		}
 		applyRoundBudget(cfg, method)
-	})
+	}, c.cmutate)
 	if err != nil {
 		return nil, err
 	}
@@ -229,10 +240,42 @@ func simulateCell(c cell) (*metrics.Run, error) {
 // exactly as they do for registry methods, so results are comparable to the
 // cached experiment cells. Observers subscribe to the run's event stream.
 func RunComposed(p Preset, m fl.Method, obs ...fl.Observer) (*metrics.Run, error) {
+	return RunComposedDynamics(p, m, ComposeDynamics{}, obs...)
+}
+
+// ComposeDynamics are the optional dynamic-population knobs of fedsim's
+// compose mode (-drift / -churn / -retier-every). The zero value runs the
+// static testbed, bit-identical to RunComposed before dynamics existed.
+type ComposeDynamics struct {
+	// Drift is the speed random-walk magnitude per interval (0 = off); the
+	// interval, clamp and churn windows are the dynamics experiment's.
+	Drift float64
+	// Churn is the fraction of clients cycling offline (0 = off).
+	Churn float64
+	// RetierEvery re-tiers from observed latencies every N global updates
+	// (0 = static tiers).
+	RetierEvery int
+}
+
+// RunComposedDynamics is RunComposed over an optionally drifting, churning
+// population with runtime re-tiering.
+func RunComposedDynamics(p Preset, m fl.Method, dyn ComposeDynamics, obs ...fl.Observer) (*metrics.Run, error) {
 	return simulateDirect(func() (*metrics.Run, error) {
-		env, err := buildEnv(p, dsSpec{name: "cifar10", classesPerClient: 2}, func(cfg *fl.RunConfig) {
-			applyRoundBudget(cfg, m)
-		})
+		env, err := buildEnvFull(p, dsSpec{name: "cifar10", classesPerClient: 2}, nil,
+			func(cfg *fl.RunConfig) {
+				cfg.RetierEvery = dyn.RetierEvery
+				applyRoundBudget(cfg, m)
+			},
+			func(cc *simnet.ClusterConfig) {
+				cc.Behavior = simnet.BehaviorConfig{
+					DriftMag:      dyn.Drift,
+					DriftInterval: dynBehavior.DriftInterval,
+					DriftClamp:    dynBehavior.DriftClamp,
+					ChurnFrac:     dyn.Churn,
+					ChurnOn:       dynBehavior.ChurnOn,
+					ChurnOff:      dynBehavior.ChurnOff,
+				}
+			})
 		if err != nil {
 			return nil, err
 		}

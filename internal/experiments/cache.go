@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/simnet"
 	"repro/internal/util"
 )
 
@@ -48,6 +49,10 @@ type cell struct {
 	method  string
 	variant string
 	mutate  func(*fl.RunConfig)
+	// cmutate adjusts the simulated cluster (the dynamics experiments
+	// switch on drift/churn behavior). Like mutate it must be a
+	// deterministic function of variant.
+	cmutate func(*simnet.ClusterConfig)
 	// spec overrides the registry lookup with an explicit policy
 	// composition (the composition-ablation cells). When set, method must
 	// be a unique label for the composition — it keys the cache.

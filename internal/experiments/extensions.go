@@ -113,7 +113,14 @@ func AblationLambda(p Preset) (*Report, error) {
 	cellFor := func(l float64) cell {
 		return cell{p: p, d: spec, method: "fedat",
 			variant: fmt.Sprintf("lambda=%.2f", l),
-			mutate:  func(cfg *fl.RunConfig) { cfg.Lambda = l }}
+			mutate: func(cfg *fl.RunConfig) {
+				cfg.Lambda = l
+				if l == 0 {
+					// RunConfig.Lambda 0 means "inherit DefaultLambda"; the
+					// sweep's λ=0 point genuinely disables the constraint.
+					cfg.Lambda = fl.LambdaOff
+				}
+			}}
 	}
 	cells := make([]cell, len(lambdas))
 	for i, l := range lambdas {

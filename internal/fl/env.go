@@ -17,13 +17,17 @@ import (
 // RunConfig holds the hyperparameters shared by every method (§6) plus the
 // method-specific knobs.
 type RunConfig struct {
-	Rounds          int     // global update budget T
-	ClientsPerRound int     // |S| (10 in the paper)
-	LocalEpochs     int     // E (3 in the paper)
-	BatchSize       int     // 10 in the paper
-	Lambda          float64 // proximal coefficient (0.4 in the paper)
-	LearningRate    float64
-	UseSGD          bool // default is Adam, the paper's local solver
+	Rounds          int // global update budget T
+	ClientsPerRound int // |S| (10 in the paper)
+	LocalEpochs     int // E (3 in the paper)
+	BatchSize       int // 10 in the paper
+	// Lambda is the proximal coefficient of Eq. 3. 0 inherits DefaultLambda
+	// (the paper's 0.4); pass LambdaOff (any negative value) to explicitly
+	// disable the proximal term for Prox methods. CLIs and experiments
+	// inherit the default from here rather than re-declaring 0.4.
+	Lambda       float64
+	LearningRate float64
+	UseSGD       bool // default is Adam, the paper's local solver
 
 	NumTiers int // M (5 in the paper)
 
@@ -56,8 +60,35 @@ type RunConfig struct {
 	// MaxSimTime stops a run after this much virtual time (0 = no limit).
 	MaxSimTime float64
 
+	// RetierEvery re-runs the tiering module every this many global updates
+	// from EWMA-smoothed observed client response latencies (0 = static
+	// tiers, the paper's one-shot §4 profiling). Re-tiering happens where a
+	// tier partition is actually consumed: tier-paced loops, and
+	// client-paced loops whose update rule routes by tier (eq5).
+	// Synchronous pacing ignores the knob — the paper's baselines do not
+	// re-profile — and a client-paced run over an untiered rule (FedAsync's
+	// staleness, ASO-Fed) has no partition to re-tier, so the knob is
+	// likewise inert there.
+	RetierEvery int
+	// RetierAlpha is the EWMA weight of each new latency observation
+	// (default 0.3).
+	RetierAlpha float64
+	// RetierMargin is the relative hysteresis band a smoothed latency must
+	// clear beyond a tier boundary before the client migrates
+	// (default 0.15).
+	RetierMargin float64
+
 	Seed uint64
 }
+
+// DefaultLambda is the paper's proximal coefficient (§6): the single place
+// the 0.4 default lives — withDefaults applies it, and the CLIs inherit it.
+const DefaultLambda = 0.4
+
+// LambdaOff explicitly disables the Eq. 3 proximal term for Prox methods
+// (RunConfig.Lambda 0 means "use DefaultLambda", so disabling needs a
+// sentinel).
+const LambdaOff = -1.0
 
 func (c RunConfig) withDefaults() RunConfig {
 	if c.Rounds <= 0 {
@@ -71,6 +102,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 10
+	}
+	if c.Lambda == 0 {
+		// LambdaOff stays negative here so withDefaults is idempotent
+		// (configs pass through it twice: NewEnv and RunOn); localConfig
+		// clamps it to 0 at the point of use.
+		c.Lambda = DefaultLambda
 	}
 	if c.LearningRate <= 0 {
 		c.LearningRate = 0.01
@@ -95,6 +132,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1
+	}
+	if c.RetierAlpha <= 0 || c.RetierAlpha > 1 {
+		c.RetierAlpha = 0.3
+	}
+	if c.RetierMargin <= 0 {
+		c.RetierMargin = 0.15
 	}
 	return c
 }

@@ -1,6 +1,9 @@
 package fl
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/metrics"
+	"repro/internal/tiering"
+)
 
 // The run event stream. Every method emits the same four event kinds as it
 // executes, no matter how its policies are composed; observers subscribe to
@@ -62,10 +65,24 @@ type EvalEvent struct {
 	DownBytes int64
 }
 
+// RetierEvent fires when the engine re-partitioned the tiers at runtime
+// (RunConfig.RetierEvery) from EWMA-smoothed observed latencies. It fires
+// every retier pass, even when hysteresis held every client in place
+// (Migrations 0).
+type RetierEvent struct {
+	Round      int
+	Time       float64
+	Migrations int // clients whose tier changed in this pass
+	// Tiers is the partition in effect after the pass (shared with the
+	// engine; read-only).
+	Tiers *tiering.Tiers
+}
+
 func (RoundStartEvent) event() {}
 func (ClientDoneEvent) event() {}
 func (TierFoldEvent) event()   {}
 func (EvalEvent) event()       {}
+func (RetierEvent) event()     {}
 
 // Observer receives the run event stream in engine-execution order (which
 // for the simulator-paced methods is virtual-time order of the fold and
@@ -81,7 +98,7 @@ type ObserverFunc func(Event)
 func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
 
 // recorder is the built-in observer that turns Eval events into the
-// metrics.Run record every method returns.
+// metrics.Run record every method returns, and tallies retier activity.
 type recorder struct {
 	run *metrics.Run
 }
@@ -92,19 +109,21 @@ func newRecorder(method, dataset string) *recorder {
 
 // OnEvent implements Observer.
 func (rec *recorder) OnEvent(ev Event) {
-	e, ok := ev.(EvalEvent)
-	if !ok {
-		return
+	switch e := ev.(type) {
+	case EvalEvent:
+		rec.run.Add(metrics.Point{
+			Round:     e.Round,
+			Time:      e.Time,
+			UpBytes:   e.UpBytes,
+			DownBytes: e.DownBytes,
+			Acc:       e.Result.Acc,
+			Loss:      e.Result.Loss,
+			Var:       e.Result.Variance,
+		})
+	case RetierEvent:
+		rec.run.Retiers++
+		rec.run.TierMigrations += e.Migrations
 	}
-	rec.run.Add(metrics.Point{
-		Round:     e.Round,
-		Time:      e.Time,
-		UpBytes:   e.UpBytes,
-		DownBytes: e.DownBytes,
-		Acc:       e.Result.Acc,
-		Loss:      e.Result.Loss,
-		Var:       e.Result.Variance,
-	})
 }
 
 // finish stamps the run totals once the pacer returns.

@@ -45,6 +45,11 @@ type Fabric interface {
 	SampleCount(id int) int
 	// Available reports whether client id can take work at time now.
 	Available(id int, now float64) bool
+	// NextAvailable returns the earliest time >= now at which client id can
+	// take work again, +Inf if it never will. Transient churn and late
+	// joins produce finite waits on the simulated fabric; the live fabric
+	// has no rejoin schedule — a disconnected client is gone.
+	NextAvailable(id int, now float64) float64
 
 	// InitialWeights returns a fresh copy of the initial global model w0.
 	InitialWeights() []float64
@@ -55,6 +60,12 @@ type Fabric interface {
 	// profiled response times on the simulated fabric, registration
 	// latency hints on the live one.
 	Partition(cfg RunConfig) (*tiering.Tiers, error)
+
+	// Repartition informs the fabric that the engine re-tiered the
+	// population at runtime (RunConfig.RetierEvery) from observed
+	// latencies. Fabrics may use it for diagnostics or scheduling; it must
+	// not advance the clock, draw randomness or touch engine state.
+	Repartition(t *tiering.Tiers)
 
 	// Dispatch starts one cohort round at time now from the global
 	// snapshot: ship the model to each client, train locally with lc, and
@@ -108,6 +119,9 @@ func (f *simFabric) SampleCount(id int) int {
 func (f *simFabric) Available(id int, now float64) bool {
 	return f.env.Clients[id].Runtime.Available(now)
 }
+func (f *simFabric) NextAvailable(id int, now float64) float64 {
+	return f.env.Clients[id].Runtime.NextOnline(now)
+}
 func (f *simFabric) InitialWeights() []float64 { return f.env.InitialWeights() }
 func (f *simFabric) Shapes() []codec.ShapeInfo { return f.env.Shapes() }
 
@@ -117,6 +131,10 @@ func (f *simFabric) Shapes() []codec.ShapeInfo { return f.env.Shapes() }
 func (f *simFabric) Partition(RunConfig) (*tiering.Tiers, error) {
 	return ProfileTiers(f.env)
 }
+
+// Repartition is a no-op on the simulator: the engine owns the partition,
+// and the simulated cluster has no per-tier execution state to update.
+func (f *simFabric) Repartition(*tiering.Tiers) {}
 
 func (f *simFabric) Dispatch(comm *Comm, cohort []int, now float64, global []float64, lc LocalConfig, deliver func([]TrainResult, error)) {
 	deliver(f.env.trainGroup(cohort, now, global, comm, lc))

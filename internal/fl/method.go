@@ -149,6 +149,9 @@ func (m Method) RunOn(fab Fabric, cfg RunConfig, obs ...Observer) (*metrics.Run,
 		rule:     ruleFac(),
 		obs:      append([]Observer{rec}, obs...),
 	}
+	if cfg.RetierEvery > 0 {
+		rs.lat = tiering.NewTracker(fab.NumClients(), cfg.RetierAlpha)
+	}
 	// The update rule initializes before the selector: selectors that adapt
 	// to the global state (TiFL's accuracy-driven credits) may read it from
 	// their first Pick on.
@@ -180,6 +183,12 @@ type runState struct {
 
 	tiers      *tiering.Tiers // memoized latency partition
 	nextEvalAt int
+
+	// Runtime re-tiering state (RetierEvery > 0): the EWMA latency tracker
+	// fed by observed round latencies, and the global update count at the
+	// last retier pass.
+	lat        *tiering.Tracker
+	lastRetier int
 }
 
 // Tiers returns the fabric's latency partition, computing it on first use —
@@ -201,7 +210,9 @@ func (rs *runState) Tiers() (*tiering.Tiers, error) {
 func (rs *runState) localConfig(round uint64) LocalConfig {
 	lambda := 0.0
 	if rs.method.Local.Prox {
-		lambda = rs.cfg.Lambda
+		if lambda = rs.cfg.Lambda; lambda < 0 {
+			lambda = 0 // LambdaOff: proximal term explicitly disabled
+		}
 	}
 	lc := LocalConfig{
 		Epochs:    rs.cfg.LocalEpochs,
@@ -222,12 +233,47 @@ func (rs *runState) emit(ev Event) {
 	}
 }
 
-// emitClientDones reports each trained client's resolution.
-func (rs *runState) emitClientDones(tier int, results []TrainResult) {
+// emitClientDones reports each trained client's resolution and, when
+// runtime re-tiering is on, folds each surviving client's observed response
+// latency (dispatch to server arrival) into the EWMA tracker.
+func (rs *runState) emitClientDones(tier int, start float64, results []TrainResult) {
 	for i := range results {
 		r := &results[i]
 		rs.emit(ClientDoneEvent{Client: r.Client, Tier: tier, Time: r.Arrive, Dropped: r.Dropped})
+		if rs.lat != nil && !r.Dropped {
+			rs.lat.Observe(r.Client, r.Arrive-start)
+		}
 	}
+}
+
+// maybeRetier runs a re-tiering pass when RetierEvery global updates have
+// accumulated since the last one: the current partition is recomputed from
+// the tracker's smoothed observed latencies with hysteresis, the update
+// rule and the fabric are informed, and a RetierEvent fires. It reports
+// whether a pass ran. Pacers whose loops depend on tier membership call it
+// after each fold; synchronous pacing never does — the paper's baselines
+// do not re-profile. A run with no tier partition at all (client pacing
+// over an untiered update rule) has nothing to re-tier and never passes.
+func (rs *runState) maybeRetier(now float64) (bool, error) {
+	if rs.lat == nil || rs.tiers == nil {
+		return false, nil
+	}
+	t := rs.rule.Rounds()
+	if t < rs.lastRetier+rs.cfg.RetierEvery {
+		return false, nil
+	}
+	rs.lastRetier = t
+	next, moved, err := tiering.Retier(rs.lat.Estimates(), rs.tiers, tiering.RetierOpts{Margin: rs.cfg.RetierMargin})
+	if err != nil {
+		return false, err
+	}
+	rs.tiers = next
+	if ta, ok := rs.rule.(TierAware); ok {
+		ta.Repartition(next)
+	}
+	rs.fab.Repartition(next)
+	rs.emit(RetierEvent{Round: t, Time: now, Migrations: moved, Tiers: next})
+	return true, nil
 }
 
 // maybeEval evaluates the global model at the configured cadence and emits

@@ -2,9 +2,24 @@ package fl
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 )
+
+// earliestRejoin reports the soonest time any of the listed clients comes
+// (back) online after now — +Inf when none ever will. Static populations
+// only ever produce +Inf here (departures are permanent), so the rejoin
+// paths below never schedule anything on the pre-dynamics timeline.
+func earliestRejoin(rs *runState, ids []int, now float64) float64 {
+	earliest := math.Inf(1)
+	for _, id := range ids {
+		if t := rs.fab.NextAvailable(id, now); t < earliest {
+			earliest = t
+		}
+	}
+	return earliest
+}
 
 // Pacer is the loop-structure policy of a method: it decides when cohorts
 // train and when the update rule folds. The three pacers below are the
@@ -74,12 +89,13 @@ func (syncPacer) Run(rs *runState) error {
 			}
 			round := rs.rule.Rounds()
 			rs.emit(RoundStartEvent{Tier: tier, Round: round, Time: now, Clients: cohort})
+			start := now
 			rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round)), func(results []TrainResult, err error) {
 				if err != nil {
 					fail(err)
 					return
 				}
-				rs.emitClientDones(tier, results)
+				rs.emitClientDones(tier, start, results)
 				kept, comp := sel.Harvest(rs, results)
 				rs.fab.At(comp, func() {
 					if len(kept) == 0 {
@@ -133,11 +149,17 @@ func (tierPacer) Run(rs *runState) error {
 		finish()
 	}
 
+	// active[m] tracks whether tier m's loop is running (a round in flight
+	// or a rejoin resume scheduled). A loop exits only when the tier has
+	// nobody coming back; a runtime retier pass can later hand that tier
+	// live members, so exited loops are re-kicked after each pass.
+	active := make([]bool, tiers.M())
 	var tierRound func(m int)
 	tierRound = func(m int) {
 		if done {
 			return
 		}
+		active[m] = true
 		now := rs.fab.Now()
 		if cfg.MaxSimTime > 0 && now >= cfg.MaxSimTime {
 			finish()
@@ -145,7 +167,16 @@ func (tierPacer) Run(rs *runState) error {
 		}
 		cohort := tsel.PickTier(rs, m, now)
 		if len(cohort) == 0 {
-			return // the whole tier is offline; it leaves the training
+			// The whole tier is offline. Statically that means everyone
+			// dropped for good and the tier leaves the training; under
+			// transient churn members rejoin, so resume the tier's loop at
+			// the earliest comeback.
+			if rejoin := earliestRejoin(rs, rs.tiers.Members[m], now); rejoin > now && !math.IsInf(rejoin, 1) {
+				rs.fab.At(rejoin, func() { tierRound(m) })
+				return
+			}
+			active[m] = false
+			return
 		}
 		round := rs.rule.Rounds()
 		rs.emit(RoundStartEvent{Tier: m, Round: round, Time: now, Clients: cohort})
@@ -157,7 +188,7 @@ func (tierPacer) Run(rs *runState) error {
 				fail(err)
 				return
 			}
-			rs.emitClientDones(m, results)
+			rs.emitClientDones(m, now, results)
 			kept, comp := tsel.Harvest(rs, results)
 			rs.fab.At(comp, func() {
 				if done {
@@ -175,6 +206,22 @@ func (tierPacer) Run(rs *runState) error {
 					if t >= cfg.Rounds {
 						finish()
 						return
+					}
+					retiered, err := rs.maybeRetier(rs.fab.Now())
+					if err != nil {
+						fail(err)
+						return
+					}
+					if retiered {
+						// The pass may have migrated live clients into a
+						// tier whose loop exited (all previous members
+						// gone); restart those loops so no one silently
+						// leaves the training.
+						for m2 := range active {
+							if !active[m2] {
+								tierRound(m2)
+							}
+						}
 					}
 				}
 				tierRound(m)
@@ -209,13 +256,22 @@ func (clientPacer) Run(rs *runState) error {
 		rs.fab.Stop()
 	}
 
+	// retryAt resumes a client's loop when transient churn or a late join
+	// will bring it back online (a no-op for permanent departures, whose
+	// rejoin time is +Inf — the static population's only case).
 	var startClient func(id int)
+	retryAt := func(id int, now float64) {
+		if rejoin := rs.fab.NextAvailable(id, now); rejoin > now && !math.IsInf(rejoin, 1) {
+			rs.fab.At(rejoin, func() { startClient(id) })
+		}
+	}
 	startClient = func(id int) {
 		if done {
 			return
 		}
 		now := rs.fab.Now()
 		if !rs.fab.Available(id, now) {
+			retryAt(id, now)
 			return
 		}
 		startRound := rs.rule.Rounds()
@@ -228,9 +284,16 @@ func (clientPacer) Run(rs *runState) error {
 				return
 			}
 			r := results[0]
+			if rs.lat != nil && !r.Dropped {
+				rs.lat.Observe(r.Client, r.Arrive-now)
+			}
 			if r.Dropped {
 				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive, Dropped: true})
-				return // dropped mid-round; the update is lost
+				// The update is lost; a churned client still comes back.
+				if rejoin := rs.fab.NextAvailable(id, r.Arrive); !math.IsInf(rejoin, 1) {
+					rs.fab.At(rejoin, func() { startClient(id) })
+				}
+				return
 			}
 			rs.fab.At(r.Arrive, func() {
 				if done {
@@ -249,6 +312,10 @@ func (clientPacer) Run(rs *runState) error {
 				if t >= cfg.Rounds || (cfg.MaxSimTime > 0 && rs.fab.Now() >= cfg.MaxSimTime) {
 					done = true
 					rs.fab.Stop()
+					return
+				}
+				if _, err := rs.maybeRetier(rs.fab.Now()); err != nil {
+					fail(err)
 					return
 				}
 				startClient(id)

@@ -70,11 +70,18 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 	})
 
 	// Sequential post-pass: delays, drops and uplink in selection order.
+	// Compute time is evaluated at the round's download-arrival instant, so
+	// speed drift (simnet.BehaviorConfig) takes effect; without drift
+	// ComputeTimeAt is exactly the static arithmetic.
 	for i := range results {
 		r := &results[i]
 		c := e.Clients[sel[i]]
-		computeDone := downDone[i] + c.Runtime.ComputeTime(r.Steps) + c.Runtime.RoundDelay()
-		if !c.Runtime.Available(computeDone) {
+		computeDone := downDone[i] + c.Runtime.ComputeTimeAt(r.Steps, downDone[i]) + c.Runtime.RoundDelay()
+		// A round is lost if the client is offline at ANY point of it —
+		// a churn window wholly inside the round disrupts training even
+		// though the client is back by the end. Without churn this is
+		// exactly the historical endpoint check.
+		if c.Runtime.OfflineWithin(start, computeDone) {
 			r.Dropped = true
 			r.Arrive = computeDone
 			continue

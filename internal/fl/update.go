@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/tensor"
+	"repro/internal/tiering"
 )
 
 // Fold is one batch of client updates arriving at the server: the tier they
@@ -32,6 +33,15 @@ type UpdateRule interface {
 	// Fold incorporates one batch of client updates and returns the fresh
 	// global model (aliasing rules as for Global).
 	Fold(f Fold) ([]float64, error)
+}
+
+// TierAware marks update rules that track the tier partition and must be
+// told when the engine re-tiers at runtime (RunConfig.RetierEvery). The
+// Eq. 5 fold routes untiered arrivals by the client's current tier, so a
+// stale assignment would keep feeding a migrated client's updates to its
+// old tier's model.
+type TierAware interface {
+	Repartition(t *tiering.Tiers)
 }
 
 // UpdateRules is the registry of aggregation policies.
@@ -98,6 +108,11 @@ func (r *eq5Rule) Init(rs *runState) error {
 
 func (r *eq5Rule) Global() []float64 { return r.agg.Global() }
 func (r *eq5Rule) Rounds() int       { return r.agg.Rounds() }
+
+// Repartition implements TierAware: after a runtime retier, untiered folds
+// route by the NEW assignment. Per-tier model state persists — a migrated
+// client simply starts contributing to its new tier's model.
+func (r *eq5Rule) Repartition(t *tiering.Tiers) { r.assignment = t.Assignment }
 
 func (r *eq5Rule) Fold(f Fold) ([]float64, error) {
 	if f.Tier >= 0 {

@@ -29,6 +29,12 @@ type Run struct {
 
 	UpBytes, DownBytes int64 // totals at the end of the run
 	GlobalRounds       int
+
+	// Retiers counts runtime re-tiering passes (RetierEvery runs) and
+	// TierMigrations the total client tier changes they caused; both stay 0
+	// for static-tier runs.
+	Retiers        int
+	TierMigrations int
 }
 
 // Add appends an evaluation point.

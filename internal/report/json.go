@@ -96,15 +96,18 @@ type jsonCell struct {
 // jsonRun is the serialized form of one kept run record: headline numbers
 // plus the standard derived series.
 type jsonRun struct {
-	Key          string   `json:"key"`
-	Method       string   `json:"method"`
-	Dataset      string   `json:"dataset"`
-	GlobalRounds int      `json:"global_rounds"`
-	UpBytes      int64    `json:"up_bytes"`
-	DownBytes    int64    `json:"down_bytes"`
-	BestAcc      float64  `json:"best_acc"`
-	FinalAcc     float64  `json:"final_acc"`
-	Series       []Series `json:"series"`
+	Key          string  `json:"key"`
+	Method       string  `json:"method"`
+	Dataset      string  `json:"dataset"`
+	GlobalRounds int     `json:"global_rounds"`
+	UpBytes      int64   `json:"up_bytes"`
+	DownBytes    int64   `json:"down_bytes"`
+	BestAcc      float64 `json:"best_acc"`
+	FinalAcc     float64 `json:"final_acc"`
+	// Runtime re-tiering activity (0/absent for static-tier runs).
+	Retiers        int      `json:"retiers,omitempty"`
+	TierMigrations int      `json:"tier_migrations,omitempty"`
+	Series         []Series `json:"series"`
 }
 
 // MarshalJSON serializes the report with artifacts as a tagged union and
@@ -128,15 +131,17 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 
 func runJSON(key string, run *metrics.Run) jsonRun {
 	return jsonRun{
-		Key:          key,
-		Method:       run.Method,
-		Dataset:      run.Dataset,
-		GlobalRounds: run.GlobalRounds,
-		UpBytes:      run.UpBytes,
-		DownBytes:    run.DownBytes,
-		BestAcc:      run.BestAcc(),
-		FinalAcc:     run.FinalAcc(),
-		Series:       SeriesFromRun(key, run),
+		Key:            key,
+		Method:         run.Method,
+		Dataset:        run.Dataset,
+		GlobalRounds:   run.GlobalRounds,
+		UpBytes:        run.UpBytes,
+		DownBytes:      run.DownBytes,
+		BestAcc:        run.BestAcc(),
+		FinalAcc:       run.FinalAcc(),
+		Retiers:        run.Retiers,
+		TierMigrations: run.TierMigrations,
+		Series:         SeriesFromRun(key, run),
 	}
 }
 

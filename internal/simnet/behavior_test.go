@@ -1,0 +1,201 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func behaviorCluster(t *testing.T, b BehaviorConfig) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		NumClients: 20, SecPerBatch: 0.1, Seed: 11, Behavior: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestBehaviorDisabledIsStatic: the zero BehaviorConfig must leave the
+// population bit-identical to the static model — same availability, same
+// compute arithmetic at any time.
+func TestBehaviorDisabledIsStatic(t *testing.T) {
+	cl := behaviorCluster(t, BehaviorConfig{})
+	for _, c := range cl.Clients {
+		if c.drift != nil || c.churn != nil || c.JoinAt != 0 {
+			t.Fatalf("client %d has dynamic state without behavior config", c.ID)
+		}
+		for _, at := range []float64{0, 17.3, 5000} {
+			if got, want := c.ComputeTimeAt(12, at), c.ComputeTime(12); got != want {
+				t.Fatalf("client %d: ComputeTimeAt(12, %v)=%v, want %v", c.ID, at, got, want)
+			}
+			if c.Available(at) != (at < c.DropAt) {
+				t.Fatalf("client %d: availability diverged from the static rule at %v", c.ID, at)
+			}
+			want := at
+			if at >= c.DropAt {
+				want = Inf
+			}
+			if got := c.NextOnline(at); got != want {
+				t.Fatalf("client %d: NextOnline(%v)=%v, want %v", c.ID, at, got, want)
+			}
+		}
+	}
+}
+
+// TestDriftDeterministicAndClamped: the drift walk is identical across two
+// same-seed clusters, pure under out-of-order queries, and clamped.
+func TestDriftDeterministicAndClamped(t *testing.T) {
+	b := BehaviorConfig{DriftMag: 0.5, DriftInterval: 10, DriftClamp: 3}
+	a := behaviorCluster(t, b)
+	c := behaviorCluster(t, b)
+	changed := false
+	for id := range a.Clients {
+		ra, rc := a.Clients[id], c.Clients[id]
+		// Query rc far ahead first: lookups must stay pure under any order.
+		_ = rc.SpeedMultiplier(990)
+		for _, at := range []float64{0, 25, 990, 130} {
+			ma, mc := ra.SpeedMultiplier(at), rc.SpeedMultiplier(at)
+			if ma != mc {
+				t.Fatalf("client %d: drift multiplier diverged at t=%v: %v vs %v", id, at, ma, mc)
+			}
+			if ma < 1/3.0-1e-12 || ma > 3+1e-12 {
+				t.Fatalf("client %d: multiplier %v escaped the clamp", id, ma)
+			}
+			if at > 0 && ma != 1 {
+				changed = true
+			}
+		}
+		if m := ra.SpeedMultiplier(0); m != 1 {
+			t.Fatalf("client %d: nominal speed at t=0 is %v, want 1", id, m)
+		}
+	}
+	if !changed {
+		t.Fatal("no client's speed ever drifted")
+	}
+}
+
+// TestChurnWindows: churned clients go offline and come back; NextOnline
+// lands on an available instant; non-churned clients are unaffected.
+func TestChurnWindows(t *testing.T) {
+	b := BehaviorConfig{ChurnFrac: 0.5, ChurnOn: [2]float64{50, 100}, ChurnOff: [2]float64{20, 40}}
+	cl := behaviorCluster(t, b)
+	churned, sawOffline, sawRejoin := 0, false, false
+	for _, c := range cl.Clients {
+		if c.churn == nil {
+			continue
+		}
+		churned++
+		for at := 0.0; at < 2000; at += 7 {
+			if c.Available(at) {
+				continue
+			}
+			sawOffline = true
+			back := c.NextOnline(at)
+			if math.IsInf(back, 1) {
+				continue // permanent drop can coincide with a window
+			}
+			if back <= at {
+				t.Fatalf("client %d: NextOnline(%v)=%v did not advance", c.ID, at, back)
+			}
+			if !c.Available(back) {
+				t.Fatalf("client %d: not available at its own NextOnline time %v", c.ID, back)
+			}
+			sawRejoin = true
+		}
+	}
+	if churned != 10 {
+		t.Fatalf("churn assigned to %d clients, want 10 of 20", churned)
+	}
+	if !sawOffline || !sawRejoin {
+		t.Fatalf("churn produced no observable window (offline=%v rejoin=%v)", sawOffline, sawRejoin)
+	}
+}
+
+// TestLateJoin: late joiners are offline before JoinAt and join by the
+// horizon; NextOnline from 0 is the join time.
+func TestLateJoin(t *testing.T) {
+	b := BehaviorConfig{LateJoinFrac: 0.25, LateJoinHorizon: 300}
+	cl := behaviorCluster(t, b)
+	late := 0
+	for _, c := range cl.Clients {
+		if c.JoinAt == 0 {
+			continue
+		}
+		late++
+		if c.JoinAt < 0 || c.JoinAt > 300 {
+			t.Fatalf("client %d: JoinAt %v outside (0, 300]", c.ID, c.JoinAt)
+		}
+		if c.Available(c.JoinAt / 2) {
+			t.Fatalf("client %d available before joining", c.ID)
+		}
+		if got := c.NextOnline(0); got != c.JoinAt {
+			t.Fatalf("client %d: NextOnline(0)=%v, want JoinAt %v", c.ID, got, c.JoinAt)
+		}
+	}
+	if late != 5 {
+		t.Fatalf("%d late joiners, want 5 of 20", late)
+	}
+}
+
+// TestOfflineWithin: a churn window wholly inside a span disrupts it even
+// though both endpoints are online; spans clear of windows are undisturbed;
+// without churn the check reduces to the endpoint rule.
+func TestOfflineWithin(t *testing.T) {
+	b := BehaviorConfig{ChurnFrac: 1, ChurnOn: [2]float64{50, 100}, ChurnOff: [2]float64{10, 20}}
+	cl := behaviorCluster(t, b)
+	checked := false
+	for _, c := range cl.Clients {
+		if c.churn == nil || len(c.churn.offline) == 0 {
+			c.Available(500) // force window generation
+		}
+		if len(c.churn.offline) == 0 {
+			continue
+		}
+		w := c.churn.offline[0]
+		if w[1]+1 >= c.DropAt {
+			continue // window truncated by a permanent drop; skip
+		}
+		checked = true
+		// Span strictly containing the window: disrupted.
+		if !c.OfflineWithin(w[0]-1, w[1]+1) {
+			t.Fatalf("client %d: window [%v,%v) inside span not detected", c.ID, w[0], w[1])
+		}
+		// Span entirely before the first window: clean.
+		if c.OfflineWithin(0, w[0]-1) {
+			t.Fatalf("client %d: clean span flagged as disrupted", c.ID)
+		}
+	}
+	if !checked {
+		t.Fatal("no churn window available to test")
+	}
+
+	// No churn: OfflineWithin is exactly the endpoint check.
+	static := behaviorCluster(t, BehaviorConfig{})
+	for _, c := range static.Clients {
+		for _, end := range []float64{10, 5000} {
+			if got, want := c.OfflineWithin(0, end), !c.Available(end); got != want {
+				t.Fatalf("client %d: static OfflineWithin(0,%v)=%v, want %v", c.ID, end, got, want)
+			}
+		}
+	}
+}
+
+// TestFracClamped: behavior fractions above 1 (a CLI typo) mean "everyone",
+// not a Choose panic.
+func TestFracClamped(t *testing.T) {
+	cl := behaviorCluster(t, BehaviorConfig{ChurnFrac: 1.5, LateJoinFrac: 2})
+	churned, late := 0, 0
+	for _, c := range cl.Clients {
+		if c.churn != nil {
+			churned++
+		}
+		if c.JoinAt > 0 {
+			late++
+		}
+	}
+	if churned != len(cl.Clients) || late != len(cl.Clients) {
+		t.Fatalf("fractions above 1 covered %d/%d churned, %d/%d late; want all",
+			churned, len(cl.Clients), late, len(cl.Clients))
+	}
+}

@@ -24,8 +24,13 @@ type ClientRuntime struct {
 	// DropAt is the virtual time at which the client permanently leaves
 	// (+Inf for stable clients).
 	DropAt float64
+	// JoinAt is when the client first comes online (0 = from the start;
+	// the late-join regime of BehaviorConfig).
+	JoinAt float64
 
 	delayRNG *rng.RNG
+	drift    *driftTrack // nil = fixed compute speed
+	churn    *churnTrack // nil = no transient offline windows
 }
 
 // RoundDelay draws this round's injected delay.
@@ -37,13 +42,68 @@ func (c *ClientRuntime) RoundDelay() float64 {
 }
 
 // ComputeTime returns the compute portion of a round that runs the given
-// number of mini-batch steps.
+// number of mini-batch steps, at the client's nominal (profiling-time)
+// speed.
 func (c *ClientRuntime) ComputeTime(batchSteps int) float64 {
 	return float64(batchSteps) * c.SecPerBatch
 }
 
-// Available reports whether the client is still online at time t.
-func (c *ClientRuntime) Available(t float64) bool { return t < c.DropAt }
+// ComputeTimeAt returns the compute portion of a round starting at virtual
+// time t, honoring speed drift. Without drift it is exactly ComputeTime.
+func (c *ClientRuntime) ComputeTimeAt(batchSteps int, t float64) float64 {
+	if c.drift == nil {
+		return c.ComputeTime(batchSteps)
+	}
+	return float64(batchSteps) * c.SecPerBatch * c.drift.MultAt(t)
+}
+
+// SpeedMultiplier reports the drift multiplier in effect at time t (1 for
+// clients without drift) — diagnostics and tests.
+func (c *ClientRuntime) SpeedMultiplier(t float64) float64 {
+	if c.drift == nil {
+		return 1
+	}
+	return c.drift.MultAt(t)
+}
+
+// Available reports whether the client is online at time t: it has joined,
+// has not permanently dropped, and is not inside a churn window.
+func (c *ClientRuntime) Available(t float64) bool {
+	if t >= c.DropAt || t < c.JoinAt {
+		return false
+	}
+	return c.churn == nil || !c.churn.OfflineAt(t)
+}
+
+// OfflineWithin reports whether the client is offline at any instant in
+// (start, end] — the round-disruption test: a client that blinked through
+// a churn window mid-round loses that round's update even if it is back by
+// the end. Without churn this reduces to the endpoint check (DropAt and
+// JoinAt are monotone, and start is an instant the caller already knows the
+// client was online).
+func (c *ClientRuntime) OfflineWithin(start, end float64) bool {
+	if !c.Available(end) {
+		return true
+	}
+	return c.churn != nil && c.churn.OverlapsOffline(start, end)
+}
+
+// NextOnline returns the earliest time >= t at which the client is online
+// (+Inf if it never is again). For the static population this is t while
+// the client lives and +Inf after its permanent drop — churn windows and
+// late joins are the only sources of finite waits.
+func (c *ClientRuntime) NextOnline(t float64) float64 {
+	if t < c.JoinAt {
+		t = c.JoinAt
+	}
+	if c.churn != nil {
+		t = c.churn.NextOnline(t)
+	}
+	if t >= c.DropAt {
+		return Inf
+	}
+	return t
+}
 
 // ExpectedLatency is the profiling estimate the tiering module uses: the
 // compute time for a nominal round plus the mean injected delay.
@@ -74,7 +134,11 @@ type ClusterConfig struct {
 	// UpBW/DownBW are client link speeds, ServerBW the shared server link
 	// speed (bytes/second; <= 0 = infinite).
 	UpBW, DownBW, ServerBW float64
-	Seed                   uint64
+	// Behavior switches on time-varying client dynamics (speed drift,
+	// transient churn, late joins). The zero value keeps the population
+	// static and bit-identical to the pre-dynamics model.
+	Behavior BehaviorConfig
+	Seed     uint64
 }
 
 // Cluster is the simulated population plus the server's shared links.
@@ -153,6 +217,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	ur := root.SplitLabeled(2)
 	for _, id := range ur.Choose(cfg.NumClients, cfg.NumUnstable) {
 		cl.Clients[id].DropAt = ur.Uniform(0, dropHorizon)
+	}
+	if cfg.Behavior.Enabled() {
+		applyBehavior(cl, cfg)
 	}
 	return cl, nil
 }

@@ -35,7 +35,33 @@ type ClientConfig struct {
 	// Seed anchors the fixed pseudo-random mini-batch schedule (§6); it
 	// must match the server's Run.Seed for cross-fabric reproducibility.
 	Seed uint64
-	Logf func(format string, args ...any)
+	// DialTimeout bounds how long the initial connect retries before giving
+	// up — clients routinely start before the server's listener is up, so a
+	// refused connection is retried until the window closes. 0 means the
+	// 5-second default; negative gives up after the first attempt.
+	DialTimeout time.Duration
+	Logf        func(format string, args ...any)
+}
+
+// dialRetry connects to addr, retrying failed attempts until the timeout
+// window closes (server and clients start concurrently in real
+// deployments; "connection refused" during the server's first moments is
+// expected, not fatal). A negative timeout tries exactly once.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if timeout < 0 || !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // RunClient connects, registers and serves training rounds until the server
@@ -50,9 +76,9 @@ func RunClient(cfg ClientConfig) error {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	conn, err := net.Dial("tcp", cfg.Addr)
+	conn, err := dialRetry(cfg.Addr, cfg.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+		return err
 	}
 	defer conn.Close()
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -36,6 +37,16 @@ func (f *liveFabric) Available(id int, _ float64) bool {
 	return f.s.client(uint32(id)) != nil
 }
 
+// NextAvailable is now for connected clients and +Inf otherwise: the live
+// fabric has no rejoin schedule — registration happens once, so a
+// disconnected client is gone for the rest of the run.
+func (f *liveFabric) NextAvailable(id int, now float64) float64 {
+	if f.s.client(uint32(id)) != nil {
+		return now
+	}
+	return math.Inf(1)
+}
+
 func (f *liveFabric) InitialWeights() []float64 {
 	out := make([]float64, len(f.s.cfg.W0))
 	copy(out, f.s.cfg.W0)
@@ -45,13 +56,26 @@ func (f *liveFabric) InitialWeights() []float64 {
 func (f *liveFabric) Shapes() []codec.ShapeInfo { return f.s.cfg.Shapes }
 
 // Partition tiers the population by the latency hints clients registered
-// with — the live stand-in for the simulator's profiling round.
+// with — the live stand-in for the simulator's profiling round. With
+// Run.RetierEvery set, this one-shot hint partition is only the starting
+// point: the engine re-tiers from MEASURED wall-clock response latencies as
+// rounds complete, so a mis-declared hint is corrected by observation.
 func (f *liveFabric) Partition(cfg fl.RunConfig) (*tiering.Tiers, error) {
 	lat := make([]float64, f.s.cfg.NumClients)
 	for id := range lat {
 		lat[id] = float64(f.s.regs[id].LatencyHintMs)
 	}
 	return tiering.Partition(lat, cfg.NumTiers)
+}
+
+// Repartition records the engine's runtime re-tiering (observed-latency
+// refinement of the hint partition) for operator visibility.
+func (f *liveFabric) Repartition(t *tiering.Tiers) {
+	sizes := make([]int, t.M())
+	for m, members := range t.Members {
+		sizes[m] = len(members)
+	}
+	f.s.cfg.Logf("fed server: re-tiered from measured latencies, tier sizes %v", sizes)
 }
 
 // Dispatch pushes the model to every cohort member and spawns one reader

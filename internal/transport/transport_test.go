@@ -724,3 +724,145 @@ func TestClientValidation(t *testing.T) {
 		t.Fatal("empty client config accepted")
 	}
 }
+
+// TestLiveRetierFromMeasuredLatencies deploys FedAT with runtime re-tiering
+// over loopback TCP where every client's registration latency hint is the
+// OPPOSITE of its real speed: the hint-fast clients carry a large artificial
+// delay and the hint-slow ones none. The engine must correct the one-shot
+// hint partition from measured wall-clock response latencies — retier passes
+// fire and clients migrate toward their true tiers.
+func TestLiveRetierFromMeasuredLatencies(t *testing.T) {
+	lf := newLiveFederation(t, 6, 0, 31)
+	cfg := liveCfg(7)
+	// Enough folds that the delayed tier is observed several times before
+	// the budget runs out (the undelayed tier folds much faster).
+	cfg.Rounds = 24
+	cfg.ClientsPerRound = 3
+	cfg.RetierEvery = 2
+	cfg.RetierAlpha = 0.5
+
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: lf.n,
+		Method:     fl.Methods["fedat"],
+		Run:        cfg,
+		Shapes:     lf.shapes,
+		W0:         lf.factory(cfg.Seed).WeightsCopy(),
+		Dataset:    lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retiers, migrations int
+	srv.extraObs = []fl.Observer{fl.ObserverFunc(func(ev fl.Event) {
+		if e, ok := ev.(fl.RetierEvent); ok {
+			retiers++
+			migrations += e.Migrations
+		}
+	})}
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, lf.n)
+	for i := 0; i < lf.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Hints claim 0..2 fast and 3..5 slow; reality is inverted:
+			// the hint-fast half is 3x slower. Both halves carry real
+			// delays so the quick tier cannot burn the whole fold budget
+			// before the slow tier's first response is ever measured.
+			hint, delay := uint32(10), 300*time.Millisecond
+			if i >= lf.n/2 {
+				hint, delay = 500, 100*time.Millisecond
+			}
+			clientErrs[i] = RunClient(ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: hint,
+				ArtificialDelay: delay,
+				Data:            lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+			})
+		}(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Run()
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not finish in time")
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server error: %v", err)
+	}
+	for i, cerr := range clientErrs {
+		if cerr != nil {
+			t.Fatalf("client %d error: %v", i, cerr)
+		}
+	}
+	if retiers == 0 {
+		t.Fatal("no retier pass fired on the live fabric")
+	}
+	if migrations == 0 {
+		t.Fatal("measured latencies never overturned the inverted hints")
+	}
+}
+
+// TestDialRetryConnectsToLateServer starts the client BEFORE the listener
+// exists: the dial retry must bridge the gap (the smoke deployments start
+// server and clients concurrently).
+func TestDialRetryConnectsToLateServer(t *testing.T) {
+	lf := newLiveFederation(t, 1, 0, 41)
+	cfg := liveCfg(9)
+	cfg.Rounds = 1
+	cfg.ClientsPerRound = 1
+	cfg.NumTiers = 1
+
+	// Reserve an address, then release it so the client's first dials fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	clientDone := make(chan error, 1)
+	go func() {
+		clientDone <- RunClient(ClientConfig{
+			Addr: addr, ID: 0, LatencyHintMs: 10,
+			Data: lf.fed.Clients[0], Net: lf.factory(cfg.Seed),
+			Opt: opt.NewAdam(cfg.LearningRate), Seed: cfg.Seed,
+		})
+	}()
+	time.Sleep(300 * time.Millisecond) // client is now retrying
+	srv, err := NewServer(ServerConfig{
+		Addr:       addr,
+		NumClients: 1,
+		Method:     fl.Methods["fedavg"],
+		Run:        cfg,
+		Shapes:     lf.shapes,
+		W0:         lf.factory(cfg.Seed).WeightsCopy(),
+		Dataset:    lf.fed.Name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Run()
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not finish in time")
+	}
+	if err != nil {
+		t.Fatalf("server error: %v", err)
+	}
+	if cerr := <-clientDone; cerr != nil {
+		t.Fatalf("client error: %v", cerr)
+	}
+}
