@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/codec"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/simnet"
+	"repro/internal/testutil"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -89,7 +91,7 @@ func BenchmarkSchedulerWorkers(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Ablation benches for the design choices DESIGN.md calls out.
 
-func benchEnv(b *testing.B, c codec.Codec, seed uint64) *fl.Env {
+func benchEnv(b testing.TB, c codec.Codec, seed uint64) *fl.Env {
 	b.Helper()
 	fed, err := dataset.FashionLike(15, 2, dataset.ScaleSmall, seed)
 	if err != nil {
@@ -117,11 +119,21 @@ func benchEnv(b *testing.B, c codec.Codec, seed uint64) *fl.Env {
 	return env
 }
 
-// benchRun executes one registry method on a fresh bench environment.
+// benchRun executes one registry method repeatedly over a reusable bench
+// environment: the env is built once outside the timed region and reset
+// between iterations, so the measurement is the run itself — training,
+// aggregation, simulation — not dataset generation or model construction.
+// TestEnvReuseDeterministic pins that every iteration is bit-identical to
+// a run on a freshly built env.
 func benchRun(b *testing.B, name string, c codec.Codec, seed uint64) {
 	b.Helper()
-	if _, err := fl.Run(name, benchEnv(b, c, seed)); err != nil {
-		b.Fatal(err)
+	env := benchEnv(b, c, seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.ResetState()
+		if _, err := fl.Run(name, env); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -132,8 +144,64 @@ func BenchmarkMethod(b *testing.B) {
 	for _, name := range fl.MethodNames() {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				benchRun(b, name, codec.Raw{}, 7)
+			benchRun(b, name, codec.Raw{}, 7)
+		})
+	}
+}
+
+// bytesPerRun reports the mean heap bytes allocated per call of f, after a
+// warm-up call has grown pools and scratch to steady-state shape.
+func bytesPerRun(runs int, f func()) uint64 {
+	f()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
+}
+
+// TestMethodRunAllocBudget pins the steady-state heap traffic of one full
+// method run — the exact workload BenchmarkMethod times — under explicit
+// bytes-per-op and allocs-per-op ceilings. The zero-alloc hot path brought
+// fedavg from ~15.5 MB and ~14k allocs per run down to ~0.23 MB and ~550;
+// the ceilings sit ~2x above current steady state, so normal drift passes
+// but any reintroduced per-round model-sized allocation (1786 params ×
+// 8 bytes × clients × rounds blows the budget immediately) fails here with
+// an attributable number instead of waiting for the CI bench gate.
+func TestMethodRunAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("-race instruments allocations; budgets are meaningless")
+	}
+	if testing.Short() {
+		t.Skip("full method runs in -short")
+	}
+	budgets := []struct {
+		method    string
+		maxBytes  uint64
+		maxAllocs float64
+	}{
+		{"fedavg", 500_000, 1100},
+		{"fedat", 1_000_000, 2600},
+		{"fedasync", 1_500_000, 2600},
+	}
+	for _, bud := range budgets {
+		t.Run(bud.method, func(t *testing.T) {
+			env := benchEnv(t, codec.Raw{}, 7)
+			run := func() {
+				env.ResetState()
+				if _, err := fl.Run(bud.method, env); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm up pools and caches
+			if got := bytesPerRun(3, run); got > bud.maxBytes {
+				t.Errorf("%s allocates %d bytes per run, budget %d", bud.method, got, bud.maxBytes)
+			}
+			if got := testing.AllocsPerRun(3, run); got > bud.maxAllocs {
+				t.Errorf("%s makes %.0f allocs per run, budget %.0f", bud.method, got, bud.maxAllocs)
 			}
 		})
 	}
@@ -141,23 +209,17 @@ func BenchmarkMethod(b *testing.B) {
 
 // BenchmarkAblationFedATRun measures one full FedAT run end to end.
 func BenchmarkAblationFedATRun(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		benchRun(b, "fedat", codec.NewPolyline(4), 9)
-	}
+	benchRun(b, "fedat", codec.NewPolyline(4), 9)
 }
 
 // BenchmarkAblationCompression compares the per-run cost of the polyline
 // channel against raw transmission (the codec CPU vs bytes tradeoff).
 func BenchmarkAblationCompression(b *testing.B) {
 	b.Run("polyline4", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			benchRun(b, "fedat", codec.NewPolyline(4), 9)
-		}
+		benchRun(b, "fedat", codec.NewPolyline(4), 9)
 	})
 	b.Run("raw", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			benchRun(b, "fedat", codec.Raw{}, 9)
-		}
+		benchRun(b, "fedat", codec.Raw{}, 9)
 	})
 }
 

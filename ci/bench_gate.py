@@ -8,6 +8,15 @@ Two subcommands, shared by CI and local use:
       schema ({"suite": ..., "results": [{method, iterations, ns_per_op,
       bytes_per_op, allocs_per_op}]}).
 
+  append <current.json> <baseline.json> <trajectory.json> [label]
+      Append the current suite as one entry to the committed trajectory
+      file (creating it when absent) and print the delta-vs-baseline
+      table. CI runs this after every bench run with the commit SHA as
+      the label, so the log always shows where each method stands
+      against the baseline and the per-commit history accumulates in
+      BENCH_trajectory.json; after a deliberate perf change, regenerate
+      the baseline AND append an entry locally, committing both.
+
   check <current.json> <baseline.json> [threshold]
       Fail (exit 1) when any method's ns/op regressed more than the
       threshold factor (default 1.25, i.e. >25% slower) against the
@@ -60,43 +69,63 @@ def parse(bench_out, out_json):
     print("bench_gate: wrote %d methods to %s" % (len(rows), out_json))
 
 
-def check(current_json, baseline_json, threshold):
-    cur = {r["method"]: r for r in json.load(open(current_json))["results"]}
-    base = {r["method"]: r for r in json.load(open(baseline_json))["results"]}
-    failures = []
-    common = [m for m in sorted(base) if m in cur]
-    for method in sorted(set(base) - set(cur)):
-        failures.append(
-            "%s is in the baseline but not in the current suite — "
-            "regenerate BENCH_baseline.json (see ci/bench_gate.py)" % method)
-    ratios = {}
-    for method in common:
-        b, c = base[method]["ns_per_op"], cur[method]["ns_per_op"]
-        ratios[method] = c / b if b else float("inf")
+def host_factor(ratios):
     # Host-speed normalization: the MEDIAN ratio is the uniform
     # machine-speed factor between the baseline box and this one; dividing
     # it out leaves each method's movement relative to the suite. Median
     # rather than mean, so a single method genuinely getting much faster
     # (or slower) cannot drag the normalizer and flag the others.
-    host = 1.0
-    if ratios:
-        rs = sorted(ratios.values())
-        mid = len(rs) // 2
-        host = rs[mid] if len(rs) % 2 else (rs[mid - 1] + rs[mid]) / 2
+    if not ratios:
+        return 1.0
+    rs = sorted(ratios.values())
+    mid = len(rs) // 2
+    return rs[mid] if len(rs) % 2 else (rs[mid - 1] + rs[mid]) / 2
+
+
+def delta_table(cur, base, threshold=None):
+    """Print the per-method delta-vs-baseline table; return gate failures.
+
+    With threshold=None the table is informational (the append path);
+    with a threshold, normalized ratios above it are flagged and
+    collected as failures (the check path).
+    """
+    failures = []
+    common = [m for m in sorted(base) if m in cur]
+    ratios = {}
+    for method in common:
+        b, c = base[method]["ns_per_op"], cur[method]["ns_per_op"]
+        ratios[method] = c / b if b else float("inf")
+    host = host_factor(ratios)
     print("host speed factor vs baseline: %.2fx" % host)
-    print("%-16s %14s %14s %7s %11s" % ("method", "baseline ns/op", "current ns/op", "raw", "normalized"))
+    print("%-16s %14s %14s %7s %11s %13s" % (
+        "method", "baseline ns/op", "current ns/op", "raw", "normalized", "allocs (b->c)"))
     for method in common:
         b, c = base[method]["ns_per_op"], cur[method]["ns_per_op"]
         norm = ratios[method] / host
         flag = ""
-        if norm > threshold:
+        if threshold is not None and norm > threshold:
             flag = "  << REGRESSION"
             failures.append("%s regressed %.0f%% vs the suite (%.0f -> %.0f ns/op raw)"
                             % (method, (norm - 1) * 100, b, c))
-        print("%-16s %14.0f %14.0f %6.2fx %9.2fx%s" % (method, b, c, ratios[method], norm, flag))
+        allocs = "%d->%d" % (base[method].get("allocs_per_op", 0),
+                             cur[method].get("allocs_per_op", 0))
+        print("%-16s %14.0f %14.0f %6.2fx %9.2fx %13s%s"
+              % (method, b, c, ratios[method], norm, allocs, flag))
     for method in sorted(set(cur) - set(base)):
         print("%-16s %14s %14.0f   (new; not gated — add to the baseline)"
               % (method, "-", cur[method]["ns_per_op"]))
+    return failures
+
+
+def check(current_json, baseline_json, threshold):
+    cur = {r["method"]: r for r in json.load(open(current_json))["results"]}
+    base = {r["method"]: r for r in json.load(open(baseline_json))["results"]}
+    failures = []
+    for method in sorted(set(base) - set(cur)):
+        failures.append(
+            "%s is in the baseline but not in the current suite — "
+            "regenerate BENCH_baseline.json (see ci/bench_gate.py)" % method)
+    failures += delta_table(cur, base, threshold)
     if failures:
         print("\nbench_gate: FAIL")
         for f in failures:
@@ -105,12 +134,33 @@ def check(current_json, baseline_json, threshold):
     print("\nbench_gate: ok (threshold %.2fx, host-normalized)" % threshold)
 
 
+def append(current_json, baseline_json, trajectory_json, label):
+    cur_doc = json.load(open(current_json))
+    cur = {r["method"]: r for r in cur_doc["results"]}
+    base = {r["method"]: r for r in json.load(open(baseline_json))["results"]}
+    try:
+        with open(trajectory_json) as f:
+            traj = json.load(f)
+    except FileNotFoundError:
+        traj = {"suite": cur_doc.get("suite", "BenchmarkMethod"), "entries": []}
+    traj["entries"].append({"label": label, "results": cur_doc["results"]})
+    with open(trajectory_json, "w") as f:
+        json.dump(traj, f, indent=2)
+        f.write("\n")
+    print("bench_gate: appended entry %r to %s (%d entries)"
+          % (label, trajectory_json, len(traj["entries"])))
+    delta_table(cur, base)
+
+
 def main():
     if len(sys.argv) >= 4 and sys.argv[1] == "parse":
         parse(sys.argv[2], sys.argv[3])
     elif len(sys.argv) >= 4 and sys.argv[1] == "check":
         threshold = float(sys.argv[4]) if len(sys.argv) > 4 else 1.25
         check(sys.argv[2], sys.argv[3], threshold)
+    elif len(sys.argv) >= 5 and sys.argv[1] == "append":
+        label = sys.argv[5] if len(sys.argv) > 5 else "local"
+        append(sys.argv[2], sys.argv[3], sys.argv[4], label)
     else:
         sys.exit(__doc__)
 

@@ -6,6 +6,18 @@ import (
 	"math"
 )
 
+// Verbatim marks codecs whose Decode(Encode(w)) round-trip reproduces w
+// bit-for-bit and whose payload size depends only on the vector length.
+// The simulated channel uses this to skip materializing the byte payload on
+// the hot path — the decoded weights are copied directly and the byte
+// accounting uses PayloadBytes, so metrics and numerics are identical to
+// the real round-trip.
+type Verbatim interface {
+	Codec
+	// PayloadBytes returns len(Encode(w)) for any w with len(w) == n.
+	PayloadBytes(n int) int
+}
+
 // Raw transmits float64s verbatim: the "No Compression" baseline of
 // Figure 5.
 type Raw struct{}
@@ -35,6 +47,9 @@ func (Raw) Decode(data []byte, out []float64) error {
 	}
 	return nil
 }
+
+// PayloadBytes implements Verbatim: 8 bytes per coordinate.
+func (Raw) PayloadBytes(n int) int { return 8 * n }
 
 // Float32 halves the payload by casting to float32, a common cheap
 // baseline.

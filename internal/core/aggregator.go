@@ -32,6 +32,8 @@ type Aggregator struct {
 	total  int         // T = Σ counts
 	global []float64   // cached weighted average
 	w0     []float64
+
+	wScratch []float64 // reused Eq. 5 weight vector for the fold path
 }
 
 // NewAggregator builds the server state for m tiers starting from the
@@ -83,6 +85,17 @@ func (a *Aggregator) Global() []float64 {
 	return tensor.Copy(a.global)
 }
 
+// GlobalRef returns the live global-model buffer without copying. The
+// buffer is rewritten in place by the next UpdateTier/UpdateTierRef, so the
+// reference is read-only and valid only until the next fold — callers that
+// retain it across folds must copy. This is the zero-alloc accessor the
+// update rules use on the hot path; external readers should prefer Global.
+func (a *Aggregator) GlobalRef() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.global
+}
+
 // TierModel returns a copy of tier m's current model.
 func (a *Aggregator) TierModel(m int) []float64 {
 	a.mu.Lock()
@@ -111,11 +124,16 @@ func (a *Aggregator) TierWeights() []float64 {
 
 func (a *Aggregator) tierWeightsLocked() []float64 {
 	w := make([]float64, a.m)
+	a.tierWeightsIntoLocked(w)
+	return w
+}
+
+func (a *Aggregator) tierWeightsIntoLocked(w []float64) {
 	if !a.weighted {
 		for i := range w {
 			w[i] = 1 / float64(a.m)
 		}
-		return w
+		return
 	}
 	den := float64(a.total + a.m)
 	for m := 0; m < a.m; m++ {
@@ -123,7 +141,6 @@ func (a *Aggregator) tierWeightsLocked() []float64 {
 		// 0-indexed: counts[M−1−m], plus the smoothing pseudo-count.
 		w[m] = (float64(a.counts[a.m-1-m]) + 1) / den
 	}
-	return w
 }
 
 // ClientUpdate is one client's contribution to a tier round.
@@ -141,6 +158,23 @@ type ClientUpdate struct {
 // the global model is recomputed as the cross-tier weighted average. It
 // returns a copy of the fresh global model.
 func (a *Aggregator) UpdateTier(m int, updates []ClientUpdate) ([]float64, error) {
+	g, err := a.updateTier(m, updates, true)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// UpdateTierRef is UpdateTier without the defensive copy: the returned
+// slice is the aggregator's live global buffer, rewritten in place by the
+// next fold. Same read-only-until-next-fold contract as GlobalRef. Folds
+// run in the exact summation order of UpdateTier, so the numeric result is
+// bit-identical.
+func (a *Aggregator) UpdateTierRef(m int, updates []ClientUpdate) ([]float64, error) {
+	return a.updateTier(m, updates, false)
+}
+
+func (a *Aggregator) updateTier(m int, updates []ClientUpdate, copyOut bool) ([]float64, error) {
 	if m < 0 || m >= a.m {
 		return nil, fmt.Errorf("core: tier %d out of range [0,%d)", m, a.m)
 	}
@@ -169,12 +203,18 @@ func (a *Aggregator) UpdateTier(m int, updates []ClientUpdate) ([]float64, error
 	a.counts[m]++
 	a.total++
 	a.recomputeGlobalLocked()
-	return tensor.Copy(a.global), nil
+	if copyOut {
+		return tensor.Copy(a.global), nil
+	}
+	return a.global, nil
 }
 
 func (a *Aggregator) recomputeGlobalLocked() {
-	ws := a.tierWeightsLocked()
-	tensor.WeightedSumInto(a.global, ws, a.tierW)
+	if len(a.wScratch) != a.m {
+		a.wScratch = make([]float64, a.m)
+	}
+	a.tierWeightsIntoLocked(a.wScratch)
+	tensor.WeightedSumInto(a.global, a.wScratch, a.tierW)
 }
 
 // Reset restores the aggregator to its initial state (used between

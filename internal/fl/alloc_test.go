@@ -1,0 +1,150 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+)
+
+// Steady-state allocation ceilings for the aggregation fold path and for
+// whole engine rounds. The fold rules rewrite reused tier models, the Eq. 5
+// scratch and per-client copies in place, so every fold shape the engine
+// drives in steady state must allocate nothing; the full-run ceilings catch
+// any alloc creeping back anywhere in the round loop (selection, pacing,
+// training, transport, folding) before the benchmark gate notices it.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("-race instruments allocations; AllocsPerRun counts are meaningless")
+	}
+}
+
+func assertFoldAllocs(t *testing.T, what string, ceiling float64, f func()) {
+	t.Helper()
+	f() // warm up: first folds grow scratch to shape
+	f()
+	if got := testing.AllocsPerRun(50, f); got > ceiling {
+		t.Errorf("%s allocates %.1f times per fold in steady state, ceiling %.0f", what, got, ceiling)
+	}
+}
+
+// TestFoldAllocFree pins every UpdateRule's steady-state fold at zero
+// allocations, in the shapes the engine actually drives: tiered folds
+// (FedAT's tier rounds, FedAvg's single tier) and single-update untiered
+// folds (the wait-free async client loops).
+func TestFoldAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	const dim = 512
+	w0 := fuzzVec(1, dim)
+	cohort := func(n int) []core.ClientUpdate {
+		us := make([]core.ClientUpdate, n)
+		for i := range us {
+			us[i] = core.ClientUpdate{Weights: fuzzVec(uint64(i+2), dim), N: i + 3, Client: i}
+		}
+		return us
+	}
+
+	t.Run("avg", func(t *testing.T) {
+		agg, err := core.NewAggregator(1, w0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule := &avgRule{agg: agg}
+		us := cohort(5)
+		assertFoldAllocs(t, "avg fold", 0, func() {
+			if _, err := rule.Fold(Fold{Tier: 0, Updates: us}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	for _, uniform := range []bool{false, true} {
+		name := "eq5"
+		if uniform {
+			name = "uniform"
+		}
+		t.Run(name, func(t *testing.T) {
+			agg, err := core.NewAggregator(3, w0, !uniform)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rule := &eq5Rule{agg: agg, assignment: []int{0, 1, 2, 0, 1}, forceUniform: uniform}
+			us := cohort(3)
+			tier := 0
+			assertFoldAllocs(t, name+" tiered fold", 0, func() {
+				if _, err := rule.Fold(Fold{Tier: tier % 3, Updates: us}); err != nil {
+					t.Fatal(err)
+				}
+				tier++
+			})
+			one := cohort(1)
+			assertFoldAllocs(t, name+" untiered single fold", 0, func() {
+				if _, err := rule.Fold(Fold{Tier: -1, Updates: one}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+
+	t.Run("staleness", func(t *testing.T) {
+		rule := &stalenessRule{global: fuzzVec(1, dim), alpha: 0.6, exp: 0.5}
+		us := cohort(1)
+		assertFoldAllocs(t, "staleness fold", 0, func() {
+			if _, err := rule.Fold(Fold{Tier: -1, Updates: us, StartRound: 0}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("asofed", func(t *testing.T) {
+		rule := &asoRule{copies: make([][]float64, 5), copySum: make([]float64, dim), global: make([]float64, dim)}
+		for c := range rule.copies {
+			rule.copies[c] = fuzzVec(1, dim)
+			rule.totalN += c + 3
+		}
+		us := cohort(1)
+		assertFoldAllocs(t, "asofed fold", 0, func() {
+			if _, err := rule.Fold(Fold{Tier: -1, Updates: us}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}
+
+// TestEngineRoundAllocCeiling pins the allocation budget of full engine
+// runs on the simulated fabric: after the first run has grown the per-run
+// pools and scratch to size, a whole R-round run must stay under a small
+// per-round ceiling. The ceilings have headroom over measured steady state
+// (a few allocs/round from cohort bookkeeping and eval) but sit far below
+// one alloc per client per parameter-vector — the regression this test
+// exists to catch.
+func TestEngineRoundAllocCeiling(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("full engine runs in -short")
+	}
+	const rounds = 6
+	for _, m := range []string{"fedavg", "fedat"} {
+		t.Run(m, func(t *testing.T) {
+			cfg := baseCfg()
+			cfg.Rounds = rounds
+			cfg.EvalEvery = 3
+			env := testEnv(t, 0, cfg)
+			run := func() {
+				env.ResetState()
+				mustRun(t, m, env)
+			}
+			run() // warm up pools, caches, per-client model replicas
+			run()
+			perRun := testing.AllocsPerRun(3, run)
+			ceiling := 80.0 * rounds // measured ~33/round fedavg, ~51/round fedat
+			if perRun > ceiling {
+				t.Errorf("%s: %.0f allocs per %d-round run (%.1f/round), ceiling %.0f",
+					m, perRun, rounds, perRun/rounds, ceiling)
+			}
+			t.Logf("%s: %.1f allocs/round steady state", m, perRun/rounds)
+		})
+	}
+}

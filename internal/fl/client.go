@@ -35,6 +35,9 @@ type Client struct {
 	scheduleRNG *rng.RNG // fixed pseudo-random mini-batch schedule (§6)
 	batchX      *tensor.Mat
 	batchY      []int
+	batchView   tensor.Mat // retargeted remainder-batch view over batchX
+	perm        []int      // per-epoch shuffle order, reused across rounds
+	wOut        []float64  // result buffer, reused across rounds
 }
 
 // NewLocalClient builds a Client without a simulated runtime, for callers
@@ -75,12 +78,19 @@ func (lc LocalConfig) Steps(n int) int {
 
 // TrainLocal runs the paper's local update: starting from globalW, perform
 // Epochs passes of mini-batch training minimizing
-// h_k(w) = F_k(w) + λ/2·‖w−globalW‖² (Eq. 3), and return a copy of the
-// resulting weights plus the number of batch steps executed.
+// h_k(w) = F_k(w) + λ/2·‖w−globalW‖² (Eq. 3), and return the resulting
+// weights plus the number of batch steps executed.
+//
+// The returned slice is a per-client buffer reused by this client's next
+// TrainLocal call: callers must encode, copy or fold it before the client
+// trains again. The round runners satisfy this by construction — a client's
+// upload is transmitted before its next round starts.
 func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) {
 	n := c.Data.NumTrain()
 	if n == 0 {
-		return tensor.Copy(globalW), 0
+		c.wOut = tensor.EnsureVec(c.wOut, len(globalW))
+		copy(c.wOut, globalW)
+		return c.wOut, 0
 	}
 	c.Net.SetWeights(globalW)
 	c.Opt.Reset()
@@ -93,11 +103,17 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 		c.batchX = tensor.NewMat(bs, c.Data.TrainX.C)
 		c.batchY = make([]int, bs)
 	}
+	if cap(c.perm) >= n {
+		c.perm = c.perm[:n]
+	} else {
+		c.perm = make([]int, n)
+	}
 
-	sched := c.scheduleRNG.SplitLabeled(lc.Round)
+	sched := c.scheduleRNG.SplitLabeledValue(lc.Round)
 	steps := 0
 	for e := 0; e < lc.Epochs; e++ {
-		order := sched.Perm(n)
+		sched.PermInto(c.perm)
+		order := c.perm
 		for lo := 0; lo < n; lo += bs {
 			hi := lo + bs
 			if hi > n {
@@ -107,7 +123,7 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 			bx := c.batchX
 			by := c.batchY
 			if m != bs {
-				bx = tensor.MatFrom(m, c.Data.TrainX.C, c.batchX.Data[:m*c.Data.TrainX.C])
+				bx = c.batchView.View(m, c.Data.TrainX.C, c.batchX.Data[:m*c.Data.TrainX.C])
 				by = c.batchY[:m]
 			}
 			for i := 0; i < m; i++ {
@@ -122,7 +138,9 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 			steps++
 		}
 	}
-	return c.Net.WeightsCopy(), steps
+	c.wOut = tensor.EnsureVec(c.wOut, len(globalW))
+	copy(c.wOut, c.Net.Weights())
+	return c.wOut, steps
 }
 
 // EvalLocal evaluates weights w on the client's held-out split and returns

@@ -3,6 +3,8 @@ package fl
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // TestAllMethodsDeterministic runs every registered method twice on
@@ -28,6 +30,39 @@ func TestAllMethodsDeterministic(t *testing.T) {
 			a, b := run(), run()
 			if *a != *b {
 				t.Fatalf("%s not deterministic: %v vs %v", name, *a, *b)
+			}
+		})
+	}
+}
+
+// TestEnvReuseDeterministic pins the reuse contract the benchmarks lean
+// on: after ResetState, a second run on the SAME Env is bit-identical to a
+// run on a freshly built one — no optimizer state, link reservation or
+// delay-stream position survives a run.
+func TestEnvReuseDeterministic(t *testing.T) {
+	for _, name := range []string{"fedavg", "fedprox", "fedat", "fedasync", "asofed"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sig := func(r *metrics.Run) [2]int64 {
+				s := [2]int64{r.UpBytes, int64(r.GlobalRounds)}
+				for _, p := range r.Points {
+					s[0] += int64(p.Acc * 1e12)
+					s[1] += int64(p.Var * 1e12)
+				}
+				return s
+			}
+			cfg := baseCfg()
+			cfg.Rounds = 10
+			fresh := sig(mustRun(t, name, testEnv(t, 2, cfg)))
+			env := testEnv(t, 2, cfg)
+			first := sig(mustRun(t, name, env))
+			env.ResetState()
+			second := sig(mustRun(t, name, env))
+			if first != fresh {
+				t.Fatalf("%s: first run on reusable env differs from fresh env: %v vs %v", name, first, fresh)
+			}
+			if second != fresh {
+				t.Fatalf("%s: run after ResetState differs from fresh env: %v vs %v", name, second, fresh)
 			}
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/simnet"
+	"repro/internal/tensor"
 )
 
 // RunConfig holds the hyperparameters shared by every method (§6) plus the
@@ -230,8 +231,7 @@ func (e *Env) LocalConfig(lambda float64, round uint64) LocalConfig {
 // ResetState restores per-client and cluster link state so one Env can run
 // several methods back-to-back under identical conditions.
 func (e *Env) ResetState() {
-	e.Cluster.ServerUp.Reset()
-	e.Cluster.ServerDown.Reset()
+	e.Cluster.Reset()
 	for _, c := range e.Clients {
 		c.Opt.Reset()
 	}
@@ -247,6 +247,16 @@ type Comm struct {
 	codec       codec.Codec
 	headerBytes int
 	Up, Down    int64
+
+	// verb is non-nil when the codec round-trips bit-exactly with a
+	// length-determined payload size (codec.Verbatim): pooled transmits then
+	// skip materializing the byte payload — numerics and byte accounting are
+	// provably identical to the real Encode/Decode.
+	verb codec.Verbatim
+	// pool recycles receiver-side weight buffers across rounds and cohorts
+	// (see tensor.Pool for the ownership contract). Sized lazily from the
+	// first transmitted vector.
+	pool *tensor.Pool
 }
 
 // NewComm builds the channel for one run.
@@ -257,7 +267,8 @@ func NewComm(c codec.Codec, shapes []codec.ShapeInfo) *Comm {
 	for _, s := range shapes {
 		hdr += 1 + len(s.Name) + 1 + 4*len(s.Dims)
 	}
-	return &Comm{codec: c, headerBytes: hdr}
+	verb, _ := c.(codec.Verbatim)
+	return &Comm{codec: c, headerBytes: hdr, verb: verb}
 }
 
 // Transmit passes w through the lossy channel in the given direction,
@@ -280,8 +291,54 @@ func (cm *Comm) Transmit(w []float64, uplink bool) ([]float64, int, error) {
 	return out, size, nil
 }
 
+// TransmitPooled is Transmit with the receiver buffer drawn from the run's
+// weight pool instead of freshly allocated. The returned slice is owned by
+// the caller until it hands it back with Release; in steady state no
+// allocation happens. Verbatim codecs (Raw) additionally skip the
+// encode/decode round-trip — the reconstruction is a straight copy and the
+// byte accounting uses the codec's exact payload size, so both the numerics
+// and the Up/Down totals are bit-identical to Transmit's.
+func (cm *Comm) TransmitPooled(w []float64, uplink bool) ([]float64, int, error) {
+	if cm.pool == nil || cm.pool.Size() != len(w) {
+		cm.pool = tensor.NewPool(len(w))
+	}
+	out := cm.pool.Get()
+	var size int
+	if cm.verb != nil {
+		size = cm.headerBytes + cm.verb.PayloadBytes(len(w))
+		copy(out, w)
+	} else {
+		payload := cm.codec.Encode(w)
+		size = cm.headerBytes + len(payload)
+		if err := cm.codec.Decode(payload, out); err != nil {
+			cm.pool.Put(out)
+			return nil, 0, fmt.Errorf("fl: codec %s failed to decode its own payload: %w", cm.codec.Name(), err)
+		}
+	}
+	if uplink {
+		cm.Up += int64(size)
+	} else {
+		cm.Down += int64(size)
+	}
+	return out, size, nil
+}
+
+// Release returns a buffer obtained from TransmitPooled to the pool. It
+// tolerates foreign buffers of the right length (the live fabric's results
+// are transport-allocated; recycling them is harmless) and ignores
+// everything else.
+func (cm *Comm) Release(w []float64) {
+	if cm.pool == nil || len(w) == 0 {
+		return
+	}
+	cm.pool.Put(w)
+}
+
 // MessageBytes returns the marshalled size of w without transmitting.
 func (cm *Comm) MessageBytes(w []float64) int {
+	if cm.verb != nil {
+		return cm.headerBytes + cm.verb.PayloadBytes(len(w))
+	}
 	return cm.headerBytes + len(cm.codec.Encode(w))
 }
 
@@ -307,6 +364,13 @@ func (cm *Comm) CountControl(bytes int64, uplink bool) {
 type Evaluator struct {
 	clients []*Client
 	nets    []*nn.Network
+
+	// Per-client scratch reused across Evaluate calls. Evaluate is not safe
+	// for concurrent use (the run loops serialize evaluation).
+	accs    []float64
+	correct []int
+	totals  []int
+	losses  []float64
 }
 
 // NewEvaluator builds the harness with one model replica per parallel
@@ -348,10 +412,16 @@ type Result struct {
 
 // Evaluate runs the model on every client's test split.
 func (e *Evaluator) Evaluate(w []float64) Result {
-	accs := make([]float64, len(e.clients))
-	correct := make([]int, len(e.clients))
-	totals := make([]int, len(e.clients))
-	losses := make([]float64, len(e.clients))
+	if len(e.accs) != len(e.clients) {
+		e.accs = make([]float64, len(e.clients))
+		e.correct = make([]int, len(e.clients))
+		e.totals = make([]int, len(e.clients))
+		e.losses = make([]float64, len(e.clients))
+	}
+	accs, correct, totals, losses := e.accs, e.correct, e.totals, e.losses
+	for i := range accs {
+		accs[i], correct[i], totals[i], losses[i] = 0, 0, 0, 0
+	}
 
 	var wg sync.WaitGroup
 	nw := len(e.nets)

@@ -144,10 +144,12 @@ func (f *simFabric) Probe(comm *Comm, ids []int, now float64, w []float64, reply
 	latest := now
 	for _, id := range ids {
 		c := f.env.Clients[id]
-		_, bytes, err := comm.Transmit(w, false)
+		probed, bytes, err := comm.TransmitPooled(w, false)
 		if err != nil {
 			return 0, err
 		}
+		comm.Release(probed) // probes only need the byte accounting
+
 		done := f.env.Cluster.DownloadArrival(now, c.Runtime, bytes)
 		comm.CountControl(int64(replyBytes), true)
 		done = f.env.Cluster.UploadArrival(done, c.Runtime, replyBytes)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/simnet"
+	"repro/internal/tensor"
 )
 
 // testEnv builds a small but non-trivial environment: 20 clients over the
@@ -203,8 +204,11 @@ func TestTrainLocalFixedSchedule(t *testing.T) {
 	c := env.Clients[0]
 	w0 := env.InitialWeights()
 	lc := env.LocalConfig(0.4, 7)
-	w1, s1 := c.TrainLocal(w0, lc)
-	w2, s2 := c.TrainLocal(w0, lc)
+	// TrainLocal reuses its result buffer across calls; copy to compare.
+	w1t, s1 := c.TrainLocal(w0, lc)
+	w1 := tensor.Copy(w1t)
+	w2t, s2 := c.TrainLocal(w0, lc)
+	w2 := tensor.Copy(w2t)
 	if s1 != s2 {
 		t.Fatalf("step counts differ: %d vs %d", s1, s2)
 	}
@@ -233,7 +237,8 @@ func TestTrainLocalProximalPullsTowardAnchor(t *testing.T) {
 	w0 := env.InitialWeights()
 	lc := env.LocalConfig(0, 1)
 	lc.Epochs = 4
-	free, _ := c.TrainLocal(w0, lc)
+	freeT, _ := c.TrainLocal(w0, lc)
+	free := tensor.Copy(freeT) // TrainLocal reuses its result buffer
 	lcProx := lc
 	lcProx.Lambda = 50 // extreme constraint keeps w near the anchor
 	prox, _ := c.TrainLocal(w0, lcProx)

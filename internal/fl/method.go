@@ -246,6 +246,21 @@ func (rs *runState) emitClientDones(tier int, start float64, results []TrainResu
 	}
 }
 
+// releaseResults hands the pooled uplink buffers of delivered results back
+// to the run's weight pool, after the fold that consumed them. Dropped
+// results are skipped: their upload never happened, so they still carry the
+// client's own training buffer, which must never enter the pool. Pacers
+// call this with the FULL delivery (not just the kept subset) so buffers
+// discarded by a selector — over-selection's late arrivals — recycle too.
+func (rs *runState) releaseResults(results []TrainResult) {
+	for i := range results {
+		if !results[i].Dropped {
+			rs.comm.Release(results[i].Weights)
+			results[i].Weights = nil
+		}
+	}
+}
+
 // maybeRetier runs a re-tiering pass when RetierEvery global updates have
 // accumulated since the last one: the current partition is recomputed from
 // the tracker's smoothed observed latencies with hysteresis, the update

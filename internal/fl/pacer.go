@@ -99,6 +99,7 @@ func (syncPacer) Run(rs *runState) error {
 				kept, comp := sel.Harvest(rs, results)
 				rs.fab.At(comp, func() {
 					if len(kept) == 0 {
+						rs.releaseResults(results)
 						step(comp) // every counted client dropped; no update this round
 						return
 					}
@@ -107,6 +108,7 @@ func (syncPacer) Run(rs *runState) error {
 						fail(err)
 						return
 					}
+					rs.releaseResults(results)
 					t := rs.rule.Rounds()
 					rs.emit(TierFoldEvent{Tier: tier, Round: t, Time: comp, Kept: len(kept), Global: g})
 					rs.maybeEval(t, comp, g)
@@ -200,6 +202,7 @@ func (tierPacer) Run(rs *runState) error {
 						fail(err)
 						return
 					}
+					rs.releaseResults(results)
 					t := rs.rule.Rounds()
 					rs.emit(TierFoldEvent{Tier: m, Round: t, Time: rs.fab.Now(), Kept: len(kept), Global: g})
 					rs.maybeEval(t, rs.fab.Now(), g)
@@ -223,6 +226,8 @@ func (tierPacer) Run(rs *runState) error {
 							}
 						}
 					}
+				} else {
+					rs.releaseResults(results)
 				}
 				tierRound(m)
 			})
@@ -306,6 +311,7 @@ func (clientPacer) Run(rs *runState) error {
 					fail(err)
 					return
 				}
+				rs.comm.Release(r.Weights)
 				t := rs.rule.Rounds()
 				rs.emit(TierFoldEvent{Tier: -1, Round: t, Time: rs.fab.Now(), Kept: 1, Global: g})
 				rs.maybeEval(t, rs.fab.Now(), g)

@@ -43,11 +43,14 @@ func selectAvailable(r *rng.RNG, ids []int, fab Fabric, now float64, k int) []in
 // reconstructs after the (possibly lossy) uplink. This is the simulated
 // fabric's Dispatch body.
 func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm, lc LocalConfig) ([]TrainResult, error) {
-	// Downlink: every client receives its own copy of the snapshot.
+	// Downlink: every client receives its own copy of the snapshot. The
+	// copies are pooled — they only need to live until local training ends
+	// (TrainLocal reads the snapshot as its proximal anchor throughout), so
+	// they go back to the pool before this function returns.
 	received := make([][]float64, len(sel))
 	downDone := make([]float64, len(sel))
 	for i, id := range sel {
-		w, bytes, err := comm.Transmit(global, false)
+		w, bytes, err := comm.TransmitPooled(global, false)
 		if err != nil {
 			return nil, err
 		}
@@ -68,6 +71,11 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 		w, steps := c.TrainLocal(received[i], lc)
 		results[i] = TrainResult{Client: c.ID, Weights: w, N: c.Data.NumTrain(), Steps: steps}
 	})
+	// All training is done; the downlink snapshots are dead.
+	for i := range received {
+		comm.Release(received[i])
+		received[i] = nil
+	}
 
 	// Sequential post-pass: delays, drops and uplink in selection order.
 	// Compute time is evaluated at the round's download-arrival instant, so
@@ -86,7 +94,11 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 			r.Arrive = computeDone
 			continue
 		}
-		w, bytes, err := comm.Transmit(r.Weights, true)
+		// The uplink replaces the client-owned training buffer with a pooled
+		// server-side reconstruction; the engine releases it after the fold.
+		// Dropped results above keep the client's buffer (no upload
+		// happened), which is why releases must skip them.
+		w, bytes, err := comm.TransmitPooled(r.Weights, true)
 		if err != nil {
 			return nil, err
 		}

@@ -72,11 +72,11 @@ func (r *avgRule) Init(rs *runState) error {
 	return nil
 }
 
-func (r *avgRule) Global() []float64 { return r.agg.Global() }
+func (r *avgRule) Global() []float64 { return r.agg.GlobalRef() }
 func (r *avgRule) Rounds() int       { return r.agg.Rounds() }
 
 func (r *avgRule) Fold(f Fold) ([]float64, error) {
-	return r.agg.UpdateTier(0, f.Updates)
+	return r.agg.UpdateTierRef(0, f.Updates)
 }
 
 // ---------------------------------------------------------------------------
@@ -106,7 +106,7 @@ func (r *eq5Rule) Init(rs *runState) error {
 	return nil
 }
 
-func (r *eq5Rule) Global() []float64 { return r.agg.Global() }
+func (r *eq5Rule) Global() []float64 { return r.agg.GlobalRef() }
 func (r *eq5Rule) Rounds() int       { return r.agg.Rounds() }
 
 // Repartition implements TierAware: after a runtime retier, untiered folds
@@ -116,13 +116,22 @@ func (r *eq5Rule) Repartition(t *tiering.Tiers) { r.assignment = t.Assignment }
 
 func (r *eq5Rule) Fold(f Fold) ([]float64, error) {
 	if f.Tier >= 0 {
-		return r.agg.UpdateTier(f.Tier, f.Updates)
+		return r.agg.UpdateTierRef(f.Tier, f.Updates)
 	}
 	// Untiered fold (tier -1: the wait-free client loops, or a sync
 	// selector with no tier concept): route each update into its client's
 	// profiled tier, so the Eq. 5 weighting still sees a per-tier update
 	// stream. Groups fold in first-seen order — deterministic, since the
 	// update order is.
+	if len(f.Updates) == 1 {
+		// The wait-free loops fold one arrival at a time; skip the grouping
+		// machinery entirely.
+		u := f.Updates[0]
+		if u.Client < 0 || u.Client >= len(r.assignment) {
+			return nil, fmt.Errorf("eq5 fold: client %d out of range [0,%d)", u.Client, len(r.assignment))
+		}
+		return r.agg.UpdateTierRef(r.assignment[u.Client], f.Updates)
+	}
 	var g []float64
 	var order []int
 	byTier := map[int][]core.ClientUpdate{}
@@ -138,7 +147,7 @@ func (r *eq5Rule) Fold(f Fold) ([]float64, error) {
 	}
 	for _, t := range order {
 		var err error
-		if g, err = r.agg.UpdateTier(t, byTier[t]); err != nil {
+		if g, err = r.agg.UpdateTierRef(t, byTier[t]); err != nil {
 			return nil, err
 		}
 	}
@@ -235,7 +244,10 @@ func (r *asoRule) Fold(f Fold) ([]float64, error) {
 		for i := range r.copySum {
 			r.copySum[i] += n * (u.Weights[i] - old[i])
 		}
-		r.copies[u.Client] = u.Weights
+		// Copy into the per-client buffer instead of retaining u.Weights:
+		// the engine returns update buffers to the run's pool after the
+		// fold, so holding the slice would alias recycled memory.
+		copy(old, u.Weights)
 	}
 	for i := range r.global {
 		r.global[i] = r.copySum[i] / float64(r.totalN)

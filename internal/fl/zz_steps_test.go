@@ -1,0 +1,44 @@
+package fl
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+func TestCountBenchSteps(t *testing.T) {
+	fed, _ := dataset.FashionLike(15, 2, dataset.ScaleSmall, 7)
+	cluster, _ := simnet.NewCluster(simnet.ClusterConfig{
+		NumClients: 15, NumUnstable: 1, DropHorizon: 3000,
+		SecPerBatch: 0.5, UpBW: 1 << 20, DownBW: 1 << 20, ServerBW: 16 << 20,
+		Seed: 7,
+	})
+	factory := func(s uint64) *nn.Network {
+		return nn.NewMLP(rng.New(s), fed.InDim, 16, fed.Classes)
+	}
+	env, err := NewEnv(fed, cluster, factory, RunConfig{
+		Rounds: 20, ClientsPerRound: 5, LocalEpochs: 2, BatchSize: 8,
+		Lambda: 0.4, LearningRate: 0.005, NumTiers: 5,
+		Codec: codec.Raw{}, EvalEvery: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTrain, nTest := 0, 0
+	for _, c := range env.Clients {
+		nTrain += c.Data.NumTrain()
+		nTest += c.Data.NumTest()
+	}
+	fmt.Printf("InDim=%d Classes=%d params=%d totalTrain=%d totalTest=%d perClient=%d\n",
+		fed.InDim, fed.Classes, len(env.InitialWeights()), nTrain, nTest, env.Clients[0].Data.NumTrain())
+	r, err := Run("fedavg", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}

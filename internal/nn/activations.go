@@ -10,7 +10,13 @@ import (
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
 	out, dx *tensor.Mat
-	mask    []bool
+	// mask holds all-ones where the forward input was positive and zero
+	// elsewhere, so both passes gate values with a single AND instead of a
+	// data-dependent branch (activation signs are effectively random, so
+	// the branch mispredicts half the time). ANDing bits is bit-exact:
+	// kept values pass through untouched and masked ones become +0 — the
+	// same literal 0 the branchy form stored.
+	mask []uint64
 }
 
 // NewReLU constructs a ReLU activation.
@@ -31,35 +37,32 @@ func (l *ReLU) OutDim(in int) int { return in }
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	n := len(x.Data)
-	if l.out == nil || len(l.out.Data) != n {
-		l.out = tensor.NewMat(x.R, x.C)
-		l.mask = make([]bool, n)
+	l.out = tensor.EnsureMat(l.out, x.R, x.C)
+	if cap(l.mask) >= n {
+		l.mask = l.mask[:n]
+	} else {
+		l.mask = make([]uint64, n)
 	}
-	l.out.R, l.out.C = x.R, x.C
+	mask := l.mask
+	out := l.out.Data[:n]
 	for i, v := range x.Data {
+		m := uint64(0)
 		if v > 0 {
-			l.out.Data[i] = v
-			l.mask[i] = true
-		} else {
-			l.out.Data[i] = 0
-			l.mask[i] = false
+			m = ^uint64(0)
 		}
+		mask[i] = m
+		out[i] = math.Float64frombits(math.Float64bits(v) & m)
 	}
 	return l.out
 }
 
 // Backward implements Layer.
 func (l *ReLU) Backward(dout *tensor.Mat) *tensor.Mat {
-	if l.dx == nil || len(l.dx.Data) != len(dout.Data) {
-		l.dx = tensor.NewMat(dout.R, dout.C)
-	}
-	l.dx.R, l.dx.C = dout.R, dout.C
+	l.dx = tensor.EnsureMat(l.dx, dout.R, dout.C)
+	mask := l.mask[:len(dout.Data)]
+	dx := l.dx.Data[:len(dout.Data)]
 	for i, v := range dout.Data {
-		if l.mask[i] {
-			l.dx.Data[i] = v
-		} else {
-			l.dx.Data[i] = 0
-		}
+		dx[i] = math.Float64frombits(math.Float64bits(v) & mask[i])
 	}
 	return l.dx
 }
@@ -86,10 +89,7 @@ func (l *Tanh) OutDim(in int) int { return in }
 
 // Forward implements Layer.
 func (l *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	if l.out == nil || len(l.out.Data) != len(x.Data) {
-		l.out = tensor.NewMat(x.R, x.C)
-	}
-	l.out.R, l.out.C = x.R, x.C
+	l.out = tensor.EnsureMat(l.out, x.R, x.C)
 	for i, v := range x.Data {
 		l.out.Data[i] = math.Tanh(v)
 	}
@@ -98,10 +98,7 @@ func (l *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 
 // Backward implements Layer.
 func (l *Tanh) Backward(dout *tensor.Mat) *tensor.Mat {
-	if l.dx == nil || len(l.dx.Data) != len(dout.Data) {
-		l.dx = tensor.NewMat(dout.R, dout.C)
-	}
-	l.dx.R, l.dx.C = dout.R, dout.C
+	l.dx = tensor.EnsureMat(l.dx, dout.R, dout.C)
 	for i, v := range dout.Data {
 		y := l.out.Data[i]
 		l.dx.Data[i] = v * (1 - y*y)
@@ -146,11 +143,12 @@ func (l *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 		return x
 	}
 	n := len(x.Data)
-	if l.out == nil || len(l.out.Data) != n {
-		l.out = tensor.NewMat(x.R, x.C)
+	l.out = tensor.EnsureMat(l.out, x.R, x.C)
+	if cap(l.mask) >= n {
+		l.mask = l.mask[:n]
+	} else {
 		l.mask = make([]float64, n)
 	}
-	l.out.R, l.out.C = x.R, x.C
 	keep := 1 - l.Rate
 	inv := 1 / keep
 	for i, v := range x.Data {
@@ -170,10 +168,7 @@ func (l *Dropout) Backward(dout *tensor.Mat) *tensor.Mat {
 	if l.mask == nil { // eval-mode forward: identity
 		return dout
 	}
-	if l.dx == nil || len(l.dx.Data) != len(dout.Data) {
-		l.dx = tensor.NewMat(dout.R, dout.C)
-	}
-	l.dx.R, l.dx.C = dout.R, dout.C
+	l.dx = tensor.EnsureMat(l.dx, dout.R, dout.C)
 	for i, v := range dout.Data {
 		l.dx.Data[i] = v * l.mask[i]
 	}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+)
+
+// The steady-state allocation ceilings for the training hot path. The
+// forward and backward passes reuse every activation, gradient and im2col
+// buffer once shapes have stabilized, so after one warm-up step the ceiling
+// is zero — any alloc that creeps back into the inner loop fails here
+// before it can show up as a benchmark regression.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("-race instruments allocations; AllocsPerRun counts are meaningless")
+	}
+}
+
+func randBatch(seed uint64, n, dim, classes int) (*tensor.Mat, []int) {
+	r := rng.New(seed)
+	x := tensor.NewMat(n, dim)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = r.Intn(classes)
+	}
+	return x, labels
+}
+
+func assertAllocFree(t *testing.T, what string, ceiling float64, f func()) {
+	t.Helper()
+	f() // warm up: first call grows activation/scratch buffers to shape
+	f()
+	if got := testing.AllocsPerRun(20, f); got > ceiling {
+		t.Errorf("%s allocates %.1f times per run in steady state, ceiling %.0f", what, got, ceiling)
+	}
+}
+
+// TestDenseHotPathAllocFree pins forward and forward+backward of the MLP
+// (Dense + ReLU + softmax-CE) at zero steady-state allocations.
+func TestDenseHotPathAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	net := NewMLP(rng.New(7), 20, 16, 5)
+	x, labels := randBatch(1, 8, 20, 5)
+	assertAllocFree(t, "Dense forward", 0, func() { net.Forward(x, true) })
+	assertAllocFree(t, "Dense forward+backward", 0, func() {
+		net.ZeroGrad()
+		net.Backprop(x, labels)
+	})
+}
+
+// TestConvHotPathAllocFree pins the convolutional stack (Conv2D + pool +
+// Dense head), including the per-sample im2col scratch, at zero
+// steady-state allocations.
+func TestConvHotPathAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	net := NewCNN(rng.New(7), SmallCNN(1, 12, 12, 4))
+	x, labels := randBatch(2, 4, 12*12, 4)
+	assertAllocFree(t, "Conv forward", 0, func() { net.Forward(x, true) })
+	assertAllocFree(t, "Conv forward+backward", 0, func() {
+		net.ZeroGrad()
+		net.Backprop(x, labels)
+	})
+}

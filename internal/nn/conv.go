@@ -16,13 +16,26 @@ type Conv2D struct {
 
 	w, g []float64 // W (OutC × InC*K*K) then b (OutC)
 
+	// wMat/gwMat are view headers onto w/g, set once in Bind; outView and
+	// doutView are retargeted per sample with Mat.View, so neither forward
+	// nor backward wraps a new header per sample per step.
+	wMat, gwMat       tensor.Mat
+	outView, doutView tensor.Mat
+
 	// caches (owned by a single goroutine)
 	colCache []*tensor.Mat // im2col output per sample
 	x        *tensor.Mat
 	out, dx  *tensor.Mat
 	scratchW *tensor.Mat
 	scratchC *tensor.Mat
+
+	skipInputGrad bool // set when this is a network's first layer
 }
+
+// SkipInputGrad implements inputGradSkipper: when this layer heads a
+// network, its dx (the gradient w.r.t. the data batch) is never consumed,
+// so Backward skips the Wᵀ·dout matmul and col2im scatter and returns nil.
+func (c *Conv2D) SkipInputGrad() { c.skipInputGrad = true }
 
 // NewConv2D constructs a convolution layer for inC×h×w inputs with outC
 // k×k filters.
@@ -55,6 +68,8 @@ func (c *Conv2D) ParamShapes() []Shape {
 func (c *Conv2D) Bind(w, g []float64) {
 	checkBind(c, w, g)
 	c.w, c.g = w, g
+	c.wMat.View(c.OutC, c.cols, w[:c.OutC*c.cols])
+	c.gwMat.View(c.OutC, c.cols, g[:c.OutC*c.cols])
 }
 
 // Init implements Layer.
@@ -68,9 +83,9 @@ func (c *Conv2D) Init(r *rng.RNG) {
 // OutDim implements Layer.
 func (c *Conv2D) OutDim(int) int { return c.OutC * c.outH * c.outW }
 
-func (c *Conv2D) weight() *tensor.Mat { return tensor.MatFrom(c.OutC, c.cols, c.w[:c.OutC*c.cols]) }
+func (c *Conv2D) weight() *tensor.Mat { return &c.wMat }
 func (c *Conv2D) bias() []float64     { return c.w[c.OutC*c.cols:] }
-func (c *Conv2D) gradW() *tensor.Mat  { return tensor.MatFrom(c.OutC, c.cols, c.g[:c.OutC*c.cols]) }
+func (c *Conv2D) gradW() *tensor.Mat  { return &c.gwMat }
 func (c *Conv2D) gradB() []float64    { return c.g[c.OutC*c.cols:] }
 
 // Forward implements Layer.
@@ -80,9 +95,7 @@ func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	}
 	b := x.R
 	p := c.outH * c.outW
-	if c.out == nil || c.out.R != b {
-		c.out = tensor.NewMat(b, c.OutC*p)
-	}
+	c.out = tensor.EnsureMat(c.out, b, c.OutC*p)
 	if len(c.colCache) < b {
 		c.colCache = make([]*tensor.Mat, b)
 	}
@@ -94,7 +107,7 @@ func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 		}
 		cols := c.colCache[s]
 		tensor.Im2Col(x.Row(s), c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad, cols)
-		outView := tensor.MatFrom(c.OutC, p, c.out.Row(s))
+		outView := c.outView.View(c.OutC, p, c.out.Row(s))
 		tensor.MulInto(outView, w, cols)
 		for oc := 0; oc < c.OutC; oc++ {
 			row := outView.Row(oc)
@@ -117,8 +130,8 @@ func (c *Conv2D) Backward(dout *tensor.Mat) *tensor.Mat {
 	}
 	b := dout.R
 	p := c.outH * c.outW
-	if c.dx == nil || c.dx.R != b {
-		c.dx = tensor.NewMat(b, c.InC*c.H*c.W)
+	if !c.skipInputGrad {
+		c.dx = tensor.EnsureMat(c.dx, b, c.InC*c.H*c.W)
 	}
 	if c.scratchW == nil {
 		c.scratchW = tensor.NewMat(c.OutC, c.cols)
@@ -128,7 +141,7 @@ func (c *Conv2D) Backward(dout *tensor.Mat) *tensor.Mat {
 	gb := c.gradB()
 	w := c.weight()
 	for s := 0; s < b; s++ {
-		doutView := tensor.MatFrom(c.OutC, p, dout.Row(s))
+		doutView := c.doutView.View(c.OutC, p, dout.Row(s))
 		// dW += dout·colsᵀ
 		tensor.MulTransBInto(c.scratchW, doutView, c.colCache[s])
 		tensor.AddTo(gw.Data, c.scratchW.Data)
@@ -136,11 +149,17 @@ func (c *Conv2D) Backward(dout *tensor.Mat) *tensor.Mat {
 		for oc := 0; oc < c.OutC; oc++ {
 			gb[oc] += tensor.Sum(doutView.Row(oc))
 		}
+		if c.skipInputGrad {
+			continue
+		}
 		// dcols = Wᵀ·dout, then scatter back to image space
 		tensor.MulTransAInto(c.scratchC, w, doutView)
 		dst := c.dx.Row(s)
 		tensor.Zero(dst)
 		tensor.Col2Im(c.scratchC, c.InC, c.H, c.W, c.K, c.K, c.Stride, c.Pad, dst)
+	}
+	if c.skipInputGrad {
+		return nil
 	}
 	return c.dx
 }
@@ -192,8 +211,12 @@ func (m *MaxPool2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	}
 	b := x.R
 	p := m.outH * m.outW
-	if m.out == nil || m.out.R != b {
-		m.out = tensor.NewMat(b, m.InC*p)
+	// Both out and argmax are fully overwritten below, so capacity reuse is
+	// safe across batch-shape changes.
+	m.out = tensor.EnsureMat(m.out, b, m.InC*p)
+	if cap(m.argmax) >= b*m.InC*p {
+		m.argmax = m.argmax[:b*m.InC*p]
+	} else {
 		m.argmax = make([]int32, b*m.InC*p)
 	}
 	for s := 0; s < b; s++ {
@@ -237,9 +260,7 @@ func (m *MaxPool2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(dout *tensor.Mat) *tensor.Mat {
 	b := dout.R
-	if m.dx == nil || m.dx.R != b {
-		m.dx = tensor.NewMat(b, m.InC*m.H*m.W)
-	}
+	m.dx = tensor.EnsureMat(m.dx, b, m.InC*m.H*m.W)
 	tensor.Zero(m.dx.Data)
 	p := m.InC * m.outH * m.outW
 	for s := 0; s < b; s++ {

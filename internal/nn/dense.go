@@ -11,12 +11,24 @@ type Dense struct {
 
 	w, g []float64 // bound storage: W (Out*In) then b (Out)
 
+	// wMat/gwMat are view headers onto w/g, set once in Bind so the hot
+	// loops never re-wrap the slices (MatFrom per batch step was the single
+	// largest allocation-count source in the training profile).
+	wMat, gwMat tensor.Mat
+
 	// caches
 	x       *tensor.Mat // input of last training forward
 	out     *tensor.Mat
 	dx      *tensor.Mat
 	scratch *tensor.Mat // Out×In gradient scratch for accumulation
+
+	skipInputGrad bool // set when this is a network's first layer
 }
+
+// SkipInputGrad implements inputGradSkipper: when this layer heads a
+// network, its dx (the gradient w.r.t. the data batch) is never consumed,
+// so Backward skips the dout·W matmul and returns nil.
+func (d *Dense) SkipInputGrad() { d.skipInputGrad = true }
 
 // NewDense constructs a Dense layer with the given fan-in and fan-out.
 func NewDense(in, out int) *Dense {
@@ -35,6 +47,8 @@ func (d *Dense) ParamShapes() []Shape {
 func (d *Dense) Bind(w, g []float64) {
 	checkBind(d, w, g)
 	d.w, d.g = w, g
+	d.wMat.View(d.Out, d.In, w[:d.Out*d.In])
+	d.gwMat.View(d.Out, d.In, g[:d.Out*d.In])
 }
 
 // Init implements Layer (Glorot uniform weights, zero bias).
@@ -46,9 +60,9 @@ func (d *Dense) Init(r *rng.RNG) {
 // OutDim implements Layer.
 func (d *Dense) OutDim(int) int { return d.Out }
 
-func (d *Dense) weight() *tensor.Mat { return tensor.MatFrom(d.Out, d.In, d.w[:d.Out*d.In]) }
+func (d *Dense) weight() *tensor.Mat { return &d.wMat }
 func (d *Dense) bias() []float64     { return d.w[d.Out*d.In:] }
-func (d *Dense) gradW() *tensor.Mat  { return tensor.MatFrom(d.Out, d.In, d.g[:d.Out*d.In]) }
+func (d *Dense) gradW() *tensor.Mat  { return &d.gwMat }
 func (d *Dense) gradB() []float64    { return d.g[d.Out*d.In:] }
 
 // Forward implements Layer.
@@ -56,9 +70,9 @@ func (d *Dense) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != d.In {
 		panic("nn: Dense input width mismatch")
 	}
-	if d.out == nil || d.out.R != x.R {
-		d.out = tensor.NewMat(x.R, d.Out)
-	}
+	// Capacity-based reuse: MulTransBInto writes every element, so dirty
+	// storage from a differently-shaped batch is fine.
+	d.out = tensor.EnsureMat(d.out, x.R, d.Out)
 	tensor.MulTransBInto(d.out, x, d.weight())
 	d.out.AddRowVec(d.bias())
 	if train {
@@ -73,9 +87,7 @@ func (d *Dense) Backward(dout *tensor.Mat) *tensor.Mat {
 		panic("nn: Dense Backward before training Forward")
 	}
 	// dW += doutᵀ·x
-	if d.scratch == nil {
-		d.scratch = tensor.NewMat(d.Out, d.In)
-	}
+	d.scratch = tensor.EnsureMat(d.scratch, d.Out, d.In)
 	tensor.MulTransAInto(d.scratch, dout, d.x)
 	tensor.AddTo(d.gradW().Data, d.scratch.Data)
 	// db += column sums of dout
@@ -83,10 +95,11 @@ func (d *Dense) Backward(dout *tensor.Mat) *tensor.Mat {
 	for i := 0; i < dout.R; i++ {
 		tensor.AddTo(gb, dout.Row(i))
 	}
-	// dx = dout·W
-	if d.dx == nil || d.dx.R != dout.R {
-		d.dx = tensor.NewMat(dout.R, d.In)
+	if d.skipInputGrad {
+		return nil
 	}
+	// dx = dout·W
+	d.dx = tensor.EnsureMat(d.dx, dout.R, d.In)
 	tensor.MulInto(d.dx, dout, d.weight())
 	return d.dx
 }

@@ -21,6 +21,13 @@ type Network struct {
 	dlogits *tensor.Mat
 }
 
+// inputGradSkipper is implemented by layers that can skip computing the
+// gradient with respect to their input. NewNetwork marks the stack's first
+// layer: its input is the data batch, so nothing consumes that gradient
+// and the (often largest) dx matmul of every backward pass can be dropped.
+// A marked layer's Backward returns nil.
+type inputGradSkipper interface{ SkipInputGrad() }
+
 // NewNetwork builds a network from layers, allocates the flat parameter
 // store, binds every layer and initializes weights from r. loss may be nil
 // for feature extractors; Backprop then panics.
@@ -45,6 +52,9 @@ func NewNetwork(r *rng.RNG, loss Loss, layers ...Layer) *Network {
 		l.Init(r)
 		off += sz
 		n.shapes = append(n.shapes, l.ParamShapes()...)
+	}
+	if s, ok := layers[0].(inputGradSkipper); ok {
+		s.SkipInputGrad()
 	}
 	return n
 }
@@ -94,9 +104,7 @@ func (n *Network) Backprop(x *tensor.Mat, labels []int) float64 {
 		panic("nn: Backprop on a network without a loss")
 	}
 	logits := n.Forward(x, true)
-	if n.dlogits == nil || n.dlogits.R != logits.R || n.dlogits.C != logits.C {
-		n.dlogits = tensor.NewMat(logits.R, logits.C)
-	}
+	n.dlogits = tensor.EnsureMat(n.dlogits, logits.R, logits.C)
 	lv := n.loss.Compute(logits, labels, n.dlogits)
 	d := n.dlogits
 	for i := len(n.layers) - 1; i >= 0; i-- {
@@ -109,9 +117,7 @@ func (n *Network) Backprop(x *tensor.Mat, labels []int) float64 {
 // argmax predictions and the mean loss over the batch.
 func (n *Network) Eval(x *tensor.Mat, labels []int) (correct int, loss float64) {
 	logits := n.Forward(x, false)
-	if n.dlogits == nil || n.dlogits.R != logits.R || n.dlogits.C != logits.C {
-		n.dlogits = tensor.NewMat(logits.R, logits.C)
-	}
+	n.dlogits = tensor.EnsureMat(n.dlogits, logits.R, logits.C)
 	if n.loss != nil {
 		loss = n.loss.Compute(logits, labels, n.dlogits)
 	}

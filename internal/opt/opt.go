@@ -50,7 +50,8 @@ func (s *SGD) Step(w, g []float64) {
 		return
 	}
 	if len(s.vel) != len(w) {
-		s.vel = make([]float64, len(w))
+		s.vel = tensor.EnsureVec(s.vel, len(w))
+		tensor.Zero(s.vel)
 	}
 	for i, gv := range g {
 		s.vel[i] = s.Momentum*s.vel[i] - s.LR*gv
@@ -58,8 +59,10 @@ func (s *SGD) Step(w, g []float64) {
 	}
 }
 
-// Reset implements Optimizer.
-func (s *SGD) Reset() { s.vel = nil }
+// Reset implements Optimizer. State is zeroed in place, not freed: a client
+// reused across rounds keeps its buffers, which removes two model-sized
+// allocations per local training run.
+func (s *SGD) Reset() { tensor.Zero(s.vel) }
 
 // Adam implements Kingma & Ba's optimizer with bias correction.
 type Adam struct {
@@ -81,24 +84,53 @@ func (a *Adam) Step(w, g []float64) {
 		panic("opt: Adam weight/gradient length mismatch")
 	}
 	if len(a.m) != len(w) {
-		a.m = make([]float64, len(w))
-		a.v = make([]float64, len(w))
+		a.m = tensor.EnsureVec(a.m, len(w))
+		a.v = tensor.EnsureVec(a.v, len(w))
+		tensor.Zero(a.m)
+		tensor.Zero(a.v)
 		a.t = 0
 	}
 	a.t++
-	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
-	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	c := adamConsts{
+		b1: a.Beta1, b2: a.Beta2,
+		u1: 1 - a.Beta1, u2: 1 - a.Beta2,
+		c1: 1 - math.Pow(a.Beta1, float64(a.t)),
+		c2: 1 - math.Pow(a.Beta2, float64(a.t)),
+		lr: a.LR, eps: a.Eps,
+	}
+	adamStep(w[:len(g)], g, a.m[:len(g)], a.v[:len(g)], &c)
+}
+
+// adamStepGo is the scalar reference update: one Adam step with bias
+// correction over every coordinate. The amd64 build runs the SSE2 kernel
+// in step_amd64.s instead — two lanes of exactly these operations in
+// exactly this order, bit-identical per element — and the equivalence is
+// pinned by TestAdamStepAsmMatchesGo and FuzzAdamStep.
+func adamStepGo(w, g, m, v []float64, c *adamConsts) {
+	// Local reslices pin every slice to len(g) for the compiler, so the
+	// loop body carries no bounds checks.
+	w = w[:len(g)]
+	m = m[:len(g)]
+	v = v[:len(g)]
 	for i, gv := range g {
-		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*gv
-		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*gv*gv
-		mh := a.m[i] / c1
-		vh := a.v[i] / c2
-		w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		mi := c.b1*m[i] + c.u1*gv
+		vi := c.b2*v[i] + c.u2*gv*gv
+		m[i] = mi
+		v[i] = vi
+		mh := mi / c.c1
+		vh := vi / c.c2
+		w[i] -= c.lr * mh / (math.Sqrt(vh) + c.eps)
 	}
 }
 
-// Reset implements Optimizer.
-func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+// Reset implements Optimizer. Moment estimates are zeroed in place, keeping
+// their storage; the numeric state after Reset is identical to a fresh
+// optimizer's.
+func (a *Adam) Reset() {
+	tensor.Zero(a.m)
+	tensor.Zero(a.v)
+	a.t = 0
+}
 
 // AddProximal adds the gradient of the proximal term λ/2·‖w−anchor‖² to g,
 // i.e. g += λ·(w − anchor). This is how clients realize the local constraint

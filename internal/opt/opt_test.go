@@ -56,18 +56,35 @@ func TestAdamFirstStepIsLRSized(t *testing.T) {
 }
 
 func TestResetClearsState(t *testing.T) {
+	// Reset keeps the state buffers (zero-alloc across rounds) but the
+	// numeric state must be bit-identical to a fresh optimizer's.
 	a := NewAdam(0.1)
 	w := []float64{1, 1}
 	a.Step(w, []float64{1, 1})
 	a.Reset()
-	if a.m != nil || a.v != nil || a.t != 0 {
+	if a.t != 0 {
 		t.Fatal("Adam Reset incomplete")
 	}
+	for i := range a.m {
+		if a.m[i] != 0 || a.v[i] != 0 {
+			t.Fatal("Adam Reset left nonzero moment state")
+		}
+	}
+	wReset := []float64{1, 1}
+	a.Step(wReset, []float64{1, 1})
+	wFresh := []float64{1, 1}
+	NewAdam(0.1).Step(wFresh, []float64{1, 1})
+	if wReset[0] != wFresh[0] || wReset[1] != wFresh[1] {
+		t.Fatalf("Adam after Reset diverges from fresh: %v vs %v", wReset, wFresh)
+	}
+
 	s := NewSGDMomentum(0.1, 0.9)
 	s.Step(w, []float64{1, 1})
 	s.Reset()
-	if s.vel != nil {
-		t.Fatal("SGD Reset incomplete")
+	for i := range s.vel {
+		if s.vel[i] != 0 {
+			t.Fatal("SGD Reset left nonzero velocity")
+		}
 	}
 }
 

@@ -1,0 +1,111 @@
+// SSE2 two-wide Adam inner loop. Bit-exactness contract: every lane applies
+// the same IEEE-754 operations in the same order as the scalar Go loop in
+// adamStepGo — MULPD/ADDPD/DIVPD/SQRTPD are correctly rounded per lane, and
+// elements are independent, so the packed update is bit-identical to the
+// scalar one. No FMA is used anywhere (fused rounding would diverge).
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func adamStepAsm(w, grad, m, v *float64, n int, c *adamConsts)
+TEXT ·adamStepAsm(SB), NOSPLIT, $0-48
+	MOVQ w+0(FP), DI
+	MOVQ grad+8(FP), SI
+	MOVQ m+16(FP), R8
+	MOVQ v+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ c+40(FP), DX
+
+	// Broadcast the eight per-step constants into both lanes of X8..X15.
+	MOVSD    0(DX), X8  // b1
+	UNPCKLPD X8, X8
+	MOVSD    8(DX), X9  // b2
+	UNPCKLPD X9, X9
+	MOVSD    16(DX), X10 // u1
+	UNPCKLPD X10, X10
+	MOVSD    24(DX), X11 // u2
+	UNPCKLPD X11, X11
+	MOVSD    32(DX), X12 // c1
+	UNPCKLPD X12, X12
+	MOVSD    40(DX), X13 // c2
+	UNPCKLPD X13, X13
+	MOVSD    48(DX), X14 // lr
+	UNPCKLPD X14, X14
+	MOVSD    56(DX), X15 // eps
+	UNPCKLPD X15, X15
+
+pair:
+	CMPQ CX, $2
+	JLT  tail
+
+	MOVUPD (SI), X0 // g
+	MOVUPD (R8), X1 // m
+	MOVUPD (R9), X2 // v
+
+	// m' = b1*m + u1*g
+	MULPD  X8, X1  // b1*m
+	MOVAPD X0, X3
+	MULPD  X10, X3 // u1*g
+	ADDPD  X3, X1  // m'
+	MOVUPD X1, (R8)
+
+	// v' = b2*v + (u2*g)*g   (left-associated, as the Go source writes it)
+	MULPD  X9, X2  // b2*v
+	MOVAPD X0, X4
+	MULPD  X11, X4 // u2*g
+	MULPD  X0, X4  // (u2*g)*g
+	ADDPD  X4, X2  // v'
+	MOVUPD X2, (R9)
+
+	// w -= lr*(m'/c1) / (sqrt(v'/c2) + eps)
+	DIVPD  X12, X1 // mh = m'/c1
+	DIVPD  X13, X2 // vh = v'/c2
+	SQRTPD X2, X2
+	ADDPD  X15, X2 // sqrt(vh) + eps
+	MULPD  X14, X1 // lr*mh
+	DIVPD  X2, X1
+	MOVUPD (DI), X5
+	SUBPD  X1, X5
+	MOVUPD X5, (DI)
+
+	ADDQ $16, SI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, DI
+	SUBQ $2, CX
+	JMP  pair
+
+tail:
+	CMPQ CX, $1
+	JLT  done
+
+	MOVSD (SI), X0
+	MOVSD (R8), X1
+	MOVSD (R9), X2
+
+	MULSD  X8, X1
+	MOVAPD X0, X3
+	MULSD  X10, X3
+	ADDSD  X3, X1
+	MOVSD  X1, (R8)
+
+	MULSD  X9, X2
+	MOVAPD X0, X4
+	MULSD  X11, X4
+	MULSD  X0, X4
+	ADDSD  X4, X2
+	MOVSD  X2, (R9)
+
+	DIVSD  X12, X1
+	DIVSD  X13, X2
+	SQRTSD X2, X2
+	ADDSD  X15, X2
+	MULSD  X14, X1
+	DIVSD  X2, X1
+	MOVSD  (DI), X5
+	SUBSD  X1, X5
+	MOVSD  X5, (DI)
+
+done:
+	RET

@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randAdamState(seed uint64, n int) (w, g, m, v []float64) {
+	r := rng.New(seed)
+	w = make([]float64, n)
+	g = make([]float64, n)
+	m = make([]float64, n)
+	v = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = r.Norm()
+		g[i] = r.Norm()
+		m[i] = r.Norm() * 0.1
+		v[i] = math.Abs(r.Norm()) * 0.01
+	}
+	return
+}
+
+// TestAdamStepAsmMatchesGo pins the platform kernel to the scalar
+// reference bit for bit across lengths (both lanes of the pair loop plus
+// the odd-element tail) and across step counts (changing bias correction).
+func TestAdamStepAsmMatchesGo(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 64, 101, 1786} {
+		for step := 1; step <= 3; step++ {
+			c := adamConsts{
+				b1: 0.9, b2: 0.999,
+				u1: 0.1, u2: 0.001,
+				c1: 1 - math.Pow(0.9, float64(step)),
+				c2: 1 - math.Pow(0.999, float64(step)),
+				lr: 0.005, eps: 1e-8,
+			}
+			w1, g1, m1, v1 := randAdamState(uint64(n*10+step), n)
+			w2 := append([]float64(nil), w1...)
+			g2 := append([]float64(nil), g1...)
+			m2 := append([]float64(nil), m1...)
+			v2 := append([]float64(nil), v1...)
+
+			adamStep(w1, g1, m1, v1, &c)
+			adamStepGo(w2, g2, m2, v2, &c)
+
+			for i := 0; i < n; i++ {
+				if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) ||
+					math.Float64bits(m1[i]) != math.Float64bits(m2[i]) ||
+					math.Float64bits(v1[i]) != math.Float64bits(v2[i]) {
+					t.Fatalf("n=%d step=%d i=%d: kernel diverges from scalar reference: w %v vs %v, m %v vs %v, v %v vs %v",
+						n, step, i, w1[i], w2[i], m1[i], m2[i], v1[i], v2[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzAdamStep drives the platform kernel against the scalar reference
+// with fuzzer-chosen values, including non-finite ones: the two must agree
+// bit for bit everywhere, NaNs included.
+func FuzzAdamStep(f *testing.F) {
+	f.Add(uint64(1), 5, 0.5, 1e-3)
+	f.Add(uint64(42), 17, -2.0, 0.0)
+	f.Add(uint64(7), 2, math.Inf(1), 1e9)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, scale, inject float64) {
+		if n < 0 || n > 4096 {
+			t.Skip()
+		}
+		c := adamConsts{
+			b1: 0.9, b2: 0.999, u1: 0.1, u2: 0.001,
+			c1: 1 - 0.9, c2: 1 - 0.999, lr: 0.005, eps: 1e-8,
+		}
+		w1, g1, m1, v1 := randAdamState(seed, n)
+		for i := range g1 {
+			g1[i] *= scale
+		}
+		if n > 0 {
+			g1[seedIndex(seed, n)] = inject
+		}
+		w2 := append([]float64(nil), w1...)
+		g2 := append([]float64(nil), g1...)
+		m2 := append([]float64(nil), m1...)
+		v2 := append([]float64(nil), v1...)
+
+		adamStep(w1, g1, m1, v1, &c)
+		adamStepGo(w2, g2, m2, v2, &c)
+
+		for i := 0; i < n; i++ {
+			if math.Float64bits(w1[i]) != math.Float64bits(w2[i]) ||
+				math.Float64bits(m1[i]) != math.Float64bits(m2[i]) ||
+				math.Float64bits(v1[i]) != math.Float64bits(v2[i]) {
+				t.Fatalf("i=%d: kernel diverges from scalar reference (w %x vs %x)",
+					i, math.Float64bits(w1[i]), math.Float64bits(w2[i]))
+			}
+		}
+	})
+}
+
+func seedIndex(seed uint64, n int) int { return int(seed % uint64(n)) }
+
+func BenchmarkAdamStep(b *testing.B) {
+	w, g, m, v := randAdamState(3, 1786)
+	c := adamConsts{b1: 0.9, b2: 0.999, u1: 0.1, u2: 0.001, c1: 0.1, c2: 0.001, lr: 0.005, eps: 1e-8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adamStep(w, g, m, v, &c)
+	}
+}
+
+func BenchmarkAdamStepGo(b *testing.B) {
+	w, g, m, v := randAdamState(3, 1786)
+	c := adamConsts{b1: 0.9, b2: 0.999, u1: 0.1, u2: 0.001, c1: 0.1, c2: 0.001, lr: 0.005, eps: 1e-8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adamStepGo(w, g, m, v, &c)
+	}
+}

@@ -45,6 +45,14 @@ func (r *RNG) SplitLabeled(label uint64) *RNG {
 	return &RNG{state: s, seed0: s}
 }
 
+// SplitLabeledValue is SplitLabeled returning the child by value, for hot
+// paths that derive a short-lived stream every round without a heap
+// allocation. The draw sequence is identical to SplitLabeled's.
+func (r *RNG) SplitLabeledValue(label uint64) RNG {
+	s := mix(r.seed0 + goldenGamma*(label+1))
+	return RNG{state: s, seed0: s}
+}
+
 // Uint64 advances the generator and returns 64 uniform bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += goldenGamma
@@ -114,11 +122,17 @@ func (r *RNG) NormScaled(mean, stddev float64) float64 {
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)) —
+// the allocation-free counterpart of Perm, drawing the identical sequence.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(p)
-	return p
 }
 
 // Shuffle permutes p in place (Fisher–Yates).

@@ -28,9 +28,20 @@ type ClientRuntime struct {
 	// the late-join regime of BehaviorConfig).
 	JoinAt float64
 
-	delayRNG *rng.RNG
-	drift    *driftTrack // nil = fixed compute speed
-	churn    *churnTrack // nil = no transient offline windows
+	delayRNG  *rng.RNG
+	delayRNG0 rng.RNG     // construction-time snapshot, restored by Reset
+	drift     *driftTrack // nil = fixed compute speed
+	churn     *churnTrack // nil = no transient offline windows
+}
+
+// Reset rewinds the runtime's consumable randomness (the per-round delay
+// stream) to its construction-time state, so a fresh run over the same
+// cluster draws the same delays. Drift and churn schedules need no reset:
+// both are pure functions of (seed, t) regardless of query order.
+func (c *ClientRuntime) Reset() {
+	if c.delayRNG != nil {
+		*c.delayRNG = c.delayRNG0
+	}
 }
 
 // RoundDelay draws this round's injected delay.
@@ -200,6 +211,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			idx++
 			cr := root.SplitLabeled(uint64(1000 + id))
 			speed := 0.7 + 0.6*cr.Float64() // persistent ±30% factor
+			dr := cr.SplitLabeled(7)
 			cl.Clients[id] = &ClientRuntime{
 				ID:          id,
 				Part:        part,
@@ -209,7 +221,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				UpBW:        cfg.UpBW,
 				DownBW:      cfg.DownBW,
 				DropAt:      Inf,
-				delayRNG:    cr.SplitLabeled(7),
+				delayRNG:    dr,
+				delayRNG0:   *dr,
 			}
 		}
 	}
@@ -235,6 +248,17 @@ func evenSplit(n, parts int) []int {
 		}
 	}
 	return out
+}
+
+// Reset clears the cluster's mutable simulation state — server link
+// reservations and every client's delay stream — so consecutive runs over
+// one cluster see identical conditions from time zero.
+func (c *Cluster) Reset() {
+	c.ServerUp.Reset()
+	c.ServerDown.Reset()
+	for _, cr := range c.Clients {
+		cr.Reset()
+	}
 }
 
 // UploadArrival models a client→server transfer started at now: the client

@@ -29,6 +29,31 @@ func MatFrom(r, c int, data []float64) *Mat {
 	return &Mat{R: r, C: c, Data: data}
 }
 
+// View repoints m at an existing slice as an r×c matrix without copying —
+// the zero-alloc counterpart of MatFrom for long-lived view headers that
+// are retargeted every call (layer weight views, per-sample row views).
+func (m *Mat) View(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: View %dx%d needs %d elements, got %d", r, c, r*c, len(data)))
+	}
+	m.R, m.C, m.Data = r, c, data
+	return m
+}
+
+// EnsureMat returns an r×c matrix, reusing m's storage (and header) when
+// its capacity suffices and allocating otherwise. Element contents are
+// unspecified: callers must fully overwrite before reading. Shrinking and
+// regrowing within capacity never allocates, which is what keeps layers
+// alloc-free when batch shapes alternate (full batch / remainder batch /
+// evaluation batches).
+func EnsureMat(m *Mat, r, c int) *Mat {
+	if m == nil || cap(m.Data) < r*c {
+		return NewMat(r, c)
+	}
+	m.R, m.C, m.Data = r, c, m.Data[:r*c]
+	return m
+}
+
 // At returns element (i, j).
 func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
 
@@ -59,6 +84,21 @@ func (m *Mat) T() *Mat {
 // fan-out costs more than it saves.
 const parallelRowThreshold = 16 * 1024
 
+// mulIntoRow computes one output row of dst = a·b: out_i = Σ_k a_ik · b_k.
+// k-outer loop: stream through b row-by-row, which keeps the inner loop a
+// contiguous axpy (same summation order as the historical nested loop).
+func mulIntoRow(dst, a, b *Mat, i int) {
+	out := dst.Row(i)
+	Zero(out)
+	arow := a.Row(i)
+	for k, av := range arow {
+		if av == 0 {
+			continue
+		}
+		Axpy(av, b.Data[k*b.C:(k+1)*b.C], out)
+	}
+}
+
 // MulInto computes dst = a·b. Shapes must satisfy a.C == b.R,
 // dst.R == a.R, dst.C == b.C. dst must not alias a or b.
 func MulInto(dst, a, b *Mat) {
@@ -66,28 +106,16 @@ func MulInto(dst, a, b *Mat) {
 		panic(fmt.Sprintf("tensor: MulInto shape mismatch (%dx%d)·(%dx%d)→(%dx%d)",
 			a.R, a.C, b.R, b.C, dst.R, dst.C))
 	}
-	body := func(i int) {
-		out := dst.Row(i)
-		Zero(out)
-		arow := a.Row(i)
-		// k-outer loop: stream through b row-by-row, which keeps the inner
-		// loop a contiguous axpy and lets the compiler vectorize it.
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.C : (k+1)*b.C]
-			for j, bv := range brow {
-				out[j] += av * bv
-			}
-		}
-	}
 	if dst.R*dst.C >= parallelRowThreshold && dst.R > 1 {
-		parallel.For(a.R, body)
+		parallel.For(a.R, func(i int) { mulIntoRow(dst, a, b, i) })
 		return
 	}
+	// Serial path: a named row kernel instead of a shared closure, so small
+	// multiplies (every batch step of the training hot path) allocate
+	// nothing — a func literal that also escapes into parallel.For would be
+	// heap-allocated on every call.
 	for i := 0; i < a.R; i++ {
-		body(i)
+		mulIntoRow(dst, a, b, i)
 	}
 }
 
@@ -105,24 +133,7 @@ func MulTransAInto(dst, a, b *Mat) {
 		panic(fmt.Sprintf("tensor: MulTransAInto shape mismatch (%dx%d)ᵀ·(%dx%d)→(%dx%d)",
 			a.R, a.C, b.R, b.C, dst.R, dst.C))
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
-	accumulate := func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i, av := range arow {
-				if av == 0 {
-					continue
-				}
-				out := dst.Data[i*dst.C : (i+1)*dst.C]
-				for j, bv := range brow {
-					out[j] += av * bv
-				}
-			}
-		}
-	}
+	Zero(dst.Data)
 	// Parallelizing over k would race on dst; parallelize over dst rows
 	// instead when it is worth it, otherwise run serial.
 	if dst.R >= 4 && dst.R*dst.C >= parallelRowThreshold {
@@ -133,15 +144,22 @@ func MulTransAInto(dst, a, b *Mat) {
 				if av == 0 {
 					continue
 				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					out[j] += av * bv
-				}
+				Axpy(av, b.Row(k), out)
 			}
 		})
 		return
 	}
-	accumulate(0, a.R)
+	// Serial path kept closure-free for the per-batch-step callers.
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			Axpy(av, brow, dst.Data[i*dst.C:(i+1)*dst.C])
+		}
+	}
 }
 
 // MulTransBInto computes dst = a·bᵀ without materializing bᵀ.
@@ -151,19 +169,47 @@ func MulTransBInto(dst, a, b *Mat) {
 		panic(fmt.Sprintf("tensor: MulTransBInto shape mismatch (%dx%d)·(%dx%d)ᵀ→(%dx%d)",
 			a.R, a.C, b.R, b.C, dst.R, dst.C))
 	}
-	body := func(i int) {
-		arow := a.Row(i)
-		out := dst.Row(i)
-		for j := 0; j < b.R; j++ {
-			out[j] = Dot(arow, b.Row(j))
-		}
-	}
 	if dst.R*dst.C >= parallelRowThreshold && dst.R > 1 {
-		parallel.For(a.R, body)
+		parallel.For(a.R, func(i int) { mulTransBRow(dst, a, b, i) })
 		return
 	}
+	// Serial path kept closure-free for the per-batch-step callers.
 	for i := 0; i < a.R; i++ {
-		body(i)
+		mulTransBRow(dst, a, b, i)
+	}
+}
+
+// mulTransBRow computes row i of dst = a·bᵀ: out_j = ⟨a_i, b_j⟩.
+//
+// Four output columns are produced per pass with four independent
+// accumulators — one per dot product, each fed in plain index order, so
+// every out_j sees exactly the summation sequence of a naive Dot. The
+// interleave exists for instruction-level parallelism: a single dot's adds
+// form one dependency chain, four chains keep the FP adder busy.
+func mulTransBRow(dst, a, b *Mat, i int) {
+	arow := a.Row(i)
+	out := dst.Row(i)
+	n := len(arow)
+	j := 0
+	for ; j+4 <= b.R; j += 4 {
+		b0 := b.Row(j)[:n]
+		b1 := b.Row(j + 1)[:n]
+		b2 := b.Row(j + 2)[:n]
+		b3 := b.Row(j + 3)[:n]
+		var s0, s1, s2, s3 float64
+		for k, av := range arow {
+			s0 += av * b0[k]
+			s1 += av * b1[k]
+			s2 += av * b2[k]
+			s3 += av * b3[k]
+		}
+		out[j] = s0
+		out[j+1] = s1
+		out[j+2] = s2
+		out[j+3] = s3
+	}
+	for ; j < b.R; j++ {
+		out[j] = Dot(arow, b.Row(j))
 	}
 }
 

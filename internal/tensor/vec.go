@@ -10,31 +10,75 @@ package tensor
 
 import "math"
 
+// The element-wise kernels below are unrolled 4-wide with the length
+// equality hoisted into a reslice, which lets the compiler drop the
+// per-element bounds checks. The unrolling never reorders floating-point
+// operations: each statement handles exactly one element, in the same
+// order as the plain loop it replaced, so results are bit-identical for
+// every input — including aliased or overlapping x/y (the golden runs pin
+// this).
+
 // Axpy computes y += a*x element-wise. x and y must have equal length.
 func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
-	for i, xv := range x {
-		y[i] += a * xv
+	if len(x) == 0 {
+		return
+	}
+	axpyKernel(a, x, y)
+}
+
+// axpyGo is the scalar reference for Axpy. On amd64 the hot path runs the
+// SSE2 kernel in vec_amd64.s instead; equivalence — including for aliased
+// inputs, where the packed kernel steps aside — is pinned by
+// TestAxpyAsmMatchesGo and FuzzAXPY.
+func axpyGo(a float64, x, y []float64) {
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
 	}
 }
 
-// Dot returns the inner product of x and y.
+// Dot returns the inner product of x and y. The unroll keeps a single
+// accumulator with strictly sequential adds — the exact summation order of
+// the naive loop.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
+	y = y[:len(x)]
 	s := 0.0
-	for i, xv := range x {
-		s += xv * y[i]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s += x[i] * y[i]
+		s += x[i+1] * y[i+1]
+		s += x[i+2] * y[i+2]
+		s += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
 
 // Scale multiplies every element of x by a, in place.
 func Scale(a float64, x []float64) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] *= a
+		x[i+1] *= a
+		x[i+2] *= a
+		x[i+3] *= a
+	}
+	for ; i < len(x); i++ {
 		x[i] *= a
 	}
 }
@@ -44,8 +88,16 @@ func AddTo(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("tensor: AddTo length mismatch")
 	}
-	for i, v := range src {
-		dst[i] += v
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] += src[i]
 	}
 }
 
@@ -54,8 +106,16 @@ func SubTo(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("tensor: SubTo length mismatch")
 	}
-	for i, v := range src {
-		dst[i] -= v
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] -= src[i]
+		dst[i+1] -= src[i+1]
+		dst[i+2] -= src[i+2]
+		dst[i+3] -= src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] -= src[i]
 	}
 }
 
@@ -68,9 +128,19 @@ func Fill(x []float64, v float64) {
 
 // Zero sets every element of x to 0.
 func Zero(x []float64) {
-	for i := range x {
-		x[i] = 0
+	clear(x)
+}
+
+// EnsureVec returns a slice of length n, reusing buf's storage when its
+// capacity suffices (no alloc) and allocating otherwise. Contents are
+// unspecified: callers must fully overwrite before reading. This is the
+// capacity-based reuse primitive behind the steady-state zero-alloc hot
+// path — buffers grown once keep serving smaller and equal sizes forever.
+func EnsureVec(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
 	}
+	return make([]float64, n)
 }
 
 // Copy returns a fresh copy of x.
@@ -147,8 +217,17 @@ func Lerp(dst, src []float64, t float64) {
 	if len(dst) != len(src) {
 		panic("tensor: Lerp length mismatch")
 	}
-	for i := range dst {
-		dst[i] = (1-t)*dst[i] + t*src[i]
+	src = src[:len(dst)]
+	u := 1 - t
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = u*dst[i] + t*src[i]
+		dst[i+1] = u*dst[i+1] + t*src[i+1]
+		dst[i+2] = u*dst[i+2] + t*src[i+2]
+		dst[i+3] = u*dst[i+3] + t*src[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = u*dst[i] + t*src[i]
 	}
 }
 

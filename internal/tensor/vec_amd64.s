@@ -1,0 +1,65 @@
+// SSE2 two-wide AXPY. Bit-exactness contract: each lane performs exactly
+// the scalar loop's operations — one MULPD lane is one a*x[i], one ADDPD
+// lane is one y[i] += · — and IEEE packed ops are correctly rounded per
+// lane, so for disjoint x/y the result is bit-identical to the scalar
+// loop. No FMA (fused rounding would diverge). The Go wrapper routes
+// partially-overlapping inputs to the scalar path.
+
+//go:build amd64
+
+#include "textflag.h"
+
+// func axpyAsm(a float64, x, y *float64, n int)
+TEXT ·axpyAsm(SB), NOSPLIT, $0-32
+	MOVSD    a+0(FP), X0
+	UNPCKLPD X0, X0
+	MOVQ     x+8(FP), SI
+	MOVQ     y+16(FP), DI
+	MOVQ     n+24(FP), CX
+
+quad:
+	CMPQ CX, $4
+	JLT  pair
+
+	MOVUPD (SI), X1
+	MOVUPD 16(SI), X3
+	MULPD  X0, X1
+	MULPD  X0, X3
+	MOVUPD (DI), X2
+	MOVUPD 16(DI), X4
+	ADDPD  X1, X2
+	ADDPD  X3, X4
+	MOVUPD X2, (DI)
+	MOVUPD X4, 16(DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  quad
+
+pair:
+	CMPQ CX, $2
+	JLT  tail
+
+	MOVUPD (SI), X1
+	MULPD  X0, X1
+	MOVUPD (DI), X2
+	ADDPD  X1, X2
+	MOVUPD X2, (DI)
+
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $2, CX
+
+tail:
+	CMPQ CX, $1
+	JLT  done
+
+	MOVSD (SI), X1
+	MULSD X0, X1
+	MOVSD (DI), X2
+	ADDSD X1, X2
+	MOVSD X2, (DI)
+
+done:
+	RET

@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package tensor
+
+func axpyKernel(a float64, x, y []float64) { axpyGo(a, x, y) }

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func fillVec(seed uint64, n int) []float64 {
+	v := make([]float64, n)
+	s := seed
+	for i := range v {
+		s = s*6364136223846793005 + 1442695040888963407
+		v[i] = float64(int64(s>>11))/float64(1<<52) - 0.5
+	}
+	return v
+}
+
+// axpyNaive is the plain textbook loop every faster path must bit-match.
+func axpyNaive(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// TestAxpyAsmMatchesGo pins the platform kernel to the naive reference bit
+// for bit across lengths (hitting the 4-wide, 2-wide and scalar-tail
+// paths) and for the aliasing cases the kernel contract covers: identical
+// slices and skewed overlaps in both directions.
+func TestAxpyAsmMatchesGo(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 64, 100, 101, 1786} {
+		x := fillVec(uint64(n)+1, n)
+		want := fillVec(uint64(n)+2, n)
+		got := append([]float64(nil), want...)
+		axpyNaive(0.73, x, want)
+		Axpy(0.73, x, got)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("n=%d i=%d: Axpy diverges from naive loop: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+	// Perfect aliasing: y IS x.
+	x := fillVec(9, 33)
+	want := append([]float64(nil), x...)
+	axpyNaive(-1.25, want, want)
+	Axpy(-1.25, x, x)
+	for i := range x {
+		if math.Float64bits(want[i]) != math.Float64bits(x[i]) {
+			t.Fatalf("self-aliased i=%d: %v vs %v", i, x[i], want[i])
+		}
+	}
+	// Skewed overlap both ways: the scalar loop's write-then-read order is
+	// the contract; the packed kernel must step aside and match it.
+	for _, d := range []int{1, 2, 3} {
+		base := fillVec(uint64(d)+40, 40+d)
+		ref := append([]float64(nil), base...)
+		axpyNaive(0.5, ref[:40], ref[d:40+d])
+		Axpy(0.5, base[:40], base[d:40+d])
+		for i := range base {
+			if math.Float64bits(ref[i]) != math.Float64bits(base[i]) {
+				t.Fatalf("overlap +%d i=%d: %v vs %v", d, i, base[i], ref[i])
+			}
+		}
+		base2 := fillVec(uint64(d)+80, 40+d)
+		ref2 := append([]float64(nil), base2...)
+		axpyNaive(0.5, ref2[d:40+d], ref2[:40])
+		Axpy(0.5, base2[d:40+d], base2[:40])
+		for i := range base2 {
+			if math.Float64bits(ref2[i]) != math.Float64bits(base2[i]) {
+				t.Fatalf("overlap -%d i=%d: %v vs %v", d, i, base2[i], ref2[i])
+			}
+		}
+	}
+}
+
+// FuzzAXPY drives Axpy against the naive loop with fuzzer-chosen scale,
+// length, overlap skew and injected special values (Inf/NaN included): the
+// two must agree bit for bit, NaN payloads and signed zeros included.
+func FuzzAXPY(f *testing.F) {
+	f.Add(uint64(1), 10, 0.5, 0, 0.0)
+	f.Add(uint64(2), 100, -1.0, 1, math.Inf(1))
+	f.Add(uint64(3), 7, 0.0, -2, math.NaN())
+	f.Fuzz(func(t *testing.T, seed uint64, n int, a float64, skew int, inject float64) {
+		if n < 1 || n > 2048 {
+			t.Skip()
+		}
+		if skew < -4 || skew > 4 {
+			t.Skip()
+		}
+		off := skew
+		if off < 0 {
+			off = -off
+		}
+		base := fillVec(seed, n+off)
+		base[seed%uint64(n)] = inject
+		ref := append([]float64(nil), base...)
+
+		var xb, yb, xr, yr []float64
+		switch {
+		case skew > 0:
+			xb, yb = base[:n], base[off:n+off]
+			xr, yr = ref[:n], ref[off:n+off]
+		case skew < 0:
+			xb, yb = base[off:n+off], base[:n]
+			xr, yr = ref[off:n+off], ref[:n]
+		default:
+			xb, yb = base[:n], base[:n]
+			xr, yr = ref[:n], ref[:n]
+		}
+		axpyNaive(a, xr, yr)
+		Axpy(a, xb, yb)
+		for i := range base {
+			if math.Float64bits(ref[i]) != math.Float64bits(base[i]) {
+				t.Fatalf("seed=%d n=%d a=%v skew=%d i=%d: %x vs %x",
+					seed, n, a, skew, i, math.Float64bits(base[i]), math.Float64bits(ref[i]))
+			}
+		}
+	})
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	x := fillVec(1, 100)
+	y := fillVec(2, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, x, y)
+	}
+}
+
+func BenchmarkAxpyGo(b *testing.B) {
+	x := fillVec(1, 100)
+	y := fillVec(2, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		axpyGo(0.5, x, y)
+	}
+}

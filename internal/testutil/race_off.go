@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds tiny helpers shared by test files across packages.
+// Its only current export reports whether the race detector is compiled in,
+// so allocation-regression tests can skip themselves: -race instruments
+// every allocation and makes testing.AllocsPerRun counts meaningless.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = false
