@@ -12,10 +12,11 @@ Two subcommands, shared by CI and local use:
       Append the current suite as one entry to the committed trajectory
       file (creating it when absent) and print the delta-vs-baseline
       table. CI runs this after every bench run with the commit SHA as
-      the label, so the log always shows where each method stands
-      against the baseline and the per-commit history accumulates in
-      BENCH_trajectory.json; after a deliberate perf change, regenerate
-      the baseline AND append an entry locally, committing both.
+      the label and commits the grown file back on pushes to main, so
+      the per-commit history accumulates in BENCH_trajectory.json
+      without manual steps. Appending is idempotent per label: re-runs
+      of the same commit (retries, PR synchronize events) print the
+      table but do not duplicate the entry.
 
   check <current.json> <baseline.json> [threshold]
       Fail (exit 1) when any method's ns/op regressed more than the
@@ -143,12 +144,18 @@ def append(current_json, baseline_json, trajectory_json, label):
             traj = json.load(f)
     except FileNotFoundError:
         traj = {"suite": cur_doc.get("suite", "BenchmarkMethod"), "entries": []}
-    traj["entries"].append({"label": label, "results": cur_doc["results"]})
-    with open(trajectory_json, "w") as f:
-        json.dump(traj, f, indent=2)
-        f.write("\n")
-    print("bench_gate: appended entry %r to %s (%d entries)"
-          % (label, trajectory_json, len(traj["entries"])))
+    if any(e.get("label") == label for e in traj["entries"]):
+        # Idempotent per label: a re-run of the same commit (CI retry, PR
+        # synchronize) must not duplicate history.
+        print("bench_gate: entry %r already in %s (%d entries); not appending"
+              % (label, trajectory_json, len(traj["entries"])))
+    else:
+        traj["entries"].append({"label": label, "results": cur_doc["results"]})
+        with open(trajectory_json, "w") as f:
+            json.dump(traj, f, indent=2)
+            f.write("\n")
+        print("bench_gate: appended entry %r to %s (%d entries)"
+              % (label, trajectory_json, len(traj["entries"])))
     delta_table(cur, base)
 
 

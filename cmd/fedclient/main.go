@@ -3,6 +3,12 @@
 // flags, then trains whenever the server pushes the global model. Local
 // training settings (epochs, batch size, proximal λ) arrive with each push
 // — the server's method composition decides them, not client flags.
+//
+// In a hierarchical deployment (fedserver -role edge/root) a client joins
+// ITS EDGE's server, not the root: -addr points at the edge aggregator,
+// -clients and -id live in that edge's 0..N-1 space, and -data-seed must
+// match the edge server's (each edge group may shard data with its own
+// data seed while every party shares -seed for the model architecture).
 package main
 
 import (
@@ -21,13 +27,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "server address")
-		id      = flag.Int("id", 0, "client id (0..clients-1)")
-		clients = flag.Int("clients", 6, "total clients in the federation")
-		ds      = flag.String("dataset", "fashion", "dataset: fashion or cifar10")
-		seed    = flag.Uint64("seed", 1, "shared seed (must match the server)")
-		latency = flag.Int("latency", 100, "latency hint in ms (drives tiering)")
-		delayMs = flag.Int("delay", 0, "artificial per-round delay in ms (straggler emulation)")
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		id       = flag.Int("id", 0, "client id (0..clients-1)")
+		clients  = flag.Int("clients", 6, "total clients in the federation")
+		ds       = flag.String("dataset", "fashion", "dataset: fashion or cifar10")
+		seed     = flag.Uint64("seed", 1, "shared seed (must match the server)")
+		dataSeed = flag.Uint64("data-seed", 0, "federation data seed (0 = -seed); must match this client's edge server")
+		latency  = flag.Int("latency", 100, "latency hint in ms (drives tiering)")
+		delayMs  = flag.Int("delay", 0, "artificial per-round delay in ms (straggler emulation)")
 		// 0.01 matches fl.RunConfig's LearningRate default, so a default
 		// fedserver+fedclient deployment trains with the same local solver
 		// as a default simulator run. The optimizer stays client-side by
@@ -38,7 +45,10 @@ func main() {
 	)
 	flag.Parse()
 
-	fed, err := buildFederation(*ds, *clients, *seed)
+	if *dataSeed == 0 {
+		*dataSeed = *seed
+	}
+	fed, err := buildFederation(*ds, *clients, *dataSeed)
 	if err != nil {
 		log.Fatal("fedclient: ", err)
 	}

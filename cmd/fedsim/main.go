@@ -59,6 +59,13 @@ func main() {
 		drift  = flag.Float64("drift", 0, "with -compose, speed-drift magnitude per interval (e.g. 0.45; 0 = static speeds)")
 		churn  = flag.Float64("churn", 0, "with -compose, fraction of clients cycling offline (e.g. 0.2; 0 = no churn)")
 		retier = flag.Int("retier-every", 0, "with -compose, re-tier from observed latencies every N global updates (0 = static tiers)")
+
+		// Hierarchical-topology knobs (compose mode): shard the population
+		// across K edge aggregators; see the 'hierarchy' experiment.
+		topology   = flag.String("topology", "flat", "with -compose, client topology: flat, or edge:K (K edge aggregators over sharded clients; edge:1 is bit-identical to flat)")
+		edgeFold   = flag.String("edge-fold", "sync", "with -topology edge:K, the edge→cloud fold policy: sync (barrier) or async (buffered, staleness-weighted)")
+		edgeBuffer = flag.Int("edge-buffer", 1, "with -edge-fold async, edge pushes buffered per cloud fold")
+		uplinkTopK = flag.Float64("uplink-topk", 0, "with -topology edge:K, top-k delta compression on the edge→cloud uplink: fraction of coordinates kept (0 = raw, bit-lossless)")
 	)
 	flag.Parse()
 
@@ -77,8 +84,13 @@ func main() {
 		return
 	}
 	dyn := experiments.ComposeDynamics{Drift: *drift, Churn: *churn, RetierEvery: *retier}
+	topo, err := parseTopology(*topology, *edgeFold, *edgeBuffer, *uplinkTopK)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		os.Exit(2)
+	}
 	if *compose != "" {
-		os.Exit(runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace, dyn))
+		os.Exit(runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace, dyn, topo))
 	}
 	for _, f := range []struct{ name, val string }{{"-select", *selName}, {"-pacer", *pacer}, {"-agg", *agg}} {
 		if f.val != "" {
@@ -88,6 +100,10 @@ func main() {
 	}
 	if dyn != (experiments.ComposeDynamics{}) {
 		fmt.Fprintln(os.Stderr, "fedsim: -drift/-churn/-retier-every require -compose (the 'dynamics' experiment carries its own)")
+		os.Exit(2)
+	}
+	if topo.Edges > 0 {
+		fmt.Fprintln(os.Stderr, "fedsim: -topology requires -compose (the 'hierarchy' experiment carries its own)")
 		os.Exit(2)
 	}
 	if *expID == "" {
@@ -213,11 +229,24 @@ func main() {
 	}
 }
 
+// parseTopology parses -topology (flat | edge:K) plus its companions into
+// a ComposeTopology. Flat is the zero value.
+func parseTopology(s, fold string, buffer int, topk float64) (experiments.ComposeTopology, error) {
+	if s == "" || s == "flat" {
+		return experiments.ComposeTopology{}, nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "edge:%d", &k); err != nil || k <= 0 {
+		return experiments.ComposeTopology{}, fmt.Errorf("-topology %q: want flat or edge:K with K >= 1", s)
+	}
+	return experiments.ComposeTopology{Edges: k, Fold: fold, Buffer: buffer, TopKFrac: topk}, nil
+}
+
 // runComposition assembles a method from the base registry spec plus the
 // policy overrides, runs it on the standard ablation testbed at the given
 // preset, and prints a run summary. It returns the process exit code;
 // composition and aggregation errors surface here rather than panicking.
-func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn experiments.ComposeDynamics) int {
+func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn experiments.ComposeDynamics, topo experiments.ComposeTopology) int {
 	p, err := experiments.PresetByName(preset)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
@@ -230,6 +259,10 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn 
 	}
 
 	var obs []fl.Observer
+	if trace && topo.Edges > 0 {
+		fmt.Fprintln(os.Stderr, "fedsim: -trace is a flat-topology feature (a hierarchy has one event stream per edge)")
+		return 2
+	}
 	if trace {
 		obs = append(obs, fl.ObserverFunc(func(ev fl.Event) {
 			switch e := ev.(type) {
@@ -254,7 +287,7 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn 
 	}
 
 	start := time.Now()
-	run, err := experiments.RunComposedDynamics(p, m, dyn, obs...)
+	run, err := experiments.RunComposedTopology(p, m, dyn, topo, obs...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
 		return 1
@@ -276,6 +309,10 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn 
 		float64(run.UpBytes)/1e6, float64(run.DownBytes)/1e6)
 	if run.Retiers > 0 {
 		fmt.Printf("re-tiering        %d passes, %d client migrations\n", run.Retiers, run.TierMigrations)
+	}
+	if run.EdgeFolds > 0 {
+		fmt.Printf("edge folds        %d cloud folds, mean staleness %.2f\n",
+			run.EdgeFolds, run.EdgeStaleness/float64(run.EdgeFolds))
 	}
 	fmt.Fprintf(os.Stderr, "(completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return 0

@@ -30,6 +30,7 @@ const (
 	wireQuant8
 	wirePolyline
 	wirePolylineDelta
+	wireTopK
 )
 
 func codecWireID(c Codec) (id byte, precision byte, err error) {
@@ -48,6 +49,15 @@ func codecWireID(c Codec) (id byte, precision byte, err error) {
 			return wirePolylineDelta, byte(v.Precision), nil
 		}
 		return wirePolyline, byte(v.Precision), nil
+	case *TopK:
+		// The precision byte carries the kept fraction in percent, so the
+		// wire supports 1%..100% in whole-percent steps — the edge→cloud
+		// uplink's -uplink-topk granularity.
+		pct := int(v.Frac*100 + 0.5)
+		if pct < 1 || pct > 100 {
+			return 0, 0, fmt.Errorf("codec: top-k fraction %g not representable in whole percents", v.Frac)
+		}
+		return wireTopK, byte(pct), nil
 	default:
 		return 0, 0, fmt.Errorf("codec: unknown codec %T", c)
 	}
@@ -65,9 +75,22 @@ func codecFromWire(id, precision byte) (Codec, error) {
 		return &Polyline{Precision: int(precision)}, nil
 	case wirePolylineDelta:
 		return &Polyline{Precision: int(precision), Delta: true}, nil
+	case wireTopK:
+		if precision < 1 || precision > 100 {
+			return nil, fmt.Errorf("%w: top-k percent %d", ErrCorrupt, precision)
+		}
+		return &TopK{Frac: float64(precision) / 100}, nil
 	default:
 		return nil, fmt.Errorf("%w: codec id %d", ErrCorrupt, id)
 	}
+}
+
+// IsTopKMessage reports whether a marshalled model message was encoded
+// with the top-k codec — the receiver of an edge→cloud uplink uses it to
+// tell a sparsified DELTA (to be added onto the shared reference) from an
+// absolute model.
+func IsTopKMessage(data []byte) bool {
+	return len(data) > 0 && data[0] == wireTopK
 }
 
 // MarshalModel builds the self-describing model message:

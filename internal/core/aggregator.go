@@ -96,6 +96,26 @@ func (a *Aggregator) GlobalRef() []float64 {
 	return a.global
 }
 
+// Rebase replaces every tier model and the cached global with w — the
+// state reset a hierarchical edge performs when it adopts the cloud's
+// merged model, mirroring how Algorithm 2 starts every tier from one
+// shared w0. Update counters are deliberately kept: Eq. 5's weighting
+// measures each tier's update activity, which adopting a merged model does
+// not erase. Returns the new global reference (read-only, valid until the
+// next fold).
+func (a *Aggregator) Rebase(w []float64) []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(w) != len(a.global) {
+		panic(fmt.Sprintf("core: Rebase with %d weights, state has %d", len(w), len(a.global)))
+	}
+	for i := range a.tierW {
+		copy(a.tierW[i], w)
+	}
+	copy(a.global, w)
+	return a.global
+}
+
 // TierModel returns a copy of tier m's current model.
 func (a *Aggregator) TierModel(m int) []float64 {
 	a.mu.Lock()

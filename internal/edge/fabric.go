@@ -1,0 +1,240 @@
+package edge
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/fl"
+	"repro/internal/simnet"
+	"repro/internal/tiering"
+)
+
+// Fabric implements fl.Fabric by composing K child fabrics into one union
+// population: child c's clients occupy the contiguous global id range
+// [offsets[c], offsets[c]+child.NumClients()). Every engine call fans out
+// to the owning child (or to all children, for cohort dispatch and
+// partitioning) and the results are translated back into the union id
+// space, so ANY method composition from the registry runs unchanged over
+// sharded clients — the "one engine over K cohorts" half of the
+// hierarchical design; the per-edge-engine half is Run.
+//
+// All children must share one clock (the composite's own) and one model
+// architecture. The fabric inherits each child's determinism: with simnet
+// children it is bit-deterministic.
+type Fabric struct {
+	simnet.Clock
+	children []fl.Fabric
+	offsets  []int
+	total    int
+}
+
+var _ fl.Fabric = (*Fabric)(nil)
+
+// Compose builds the union fabric. The children must be driven by clock —
+// for simulated children, construct them with Env.FabricOn(clock).
+func Compose(clock simnet.Clock, children []fl.Fabric) (*Fabric, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("edge: composing zero child fabrics")
+	}
+	f := &Fabric{Clock: clock, children: children, offsets: make([]int, len(children))}
+	w := len(children[0].InitialWeights())
+	for c, ch := range children {
+		f.offsets[c] = f.total
+		f.total += ch.NumClients()
+		if got := len(ch.InitialWeights()); got != w {
+			return nil, fmt.Errorf("edge: child %d has %d weights, child 0 has %d", c, got, w)
+		}
+	}
+	if f.total == 0 {
+		return nil, fmt.Errorf("edge: composed fabric has no clients")
+	}
+	return f, nil
+}
+
+// locate maps a global client id to (child, local id).
+func (f *Fabric) locate(id int) (int, int) {
+	for c := len(f.offsets) - 1; c >= 0; c-- {
+		if id >= f.offsets[c] {
+			return c, id - f.offsets[c]
+		}
+	}
+	panic(fmt.Sprintf("edge: client %d out of range [0,%d)", id, f.total))
+}
+
+func (f *Fabric) Dataset() string { return f.children[0].Dataset() }
+func (f *Fabric) NumClients() int { return f.total }
+
+func (f *Fabric) SampleCount(id int) int {
+	c, l := f.locate(id)
+	return f.children[c].SampleCount(l)
+}
+
+func (f *Fabric) Available(id int, now float64) bool {
+	c, l := f.locate(id)
+	return f.children[c].Available(l, now)
+}
+
+func (f *Fabric) NextAvailable(id int, now float64) float64 {
+	c, l := f.locate(id)
+	return f.children[c].NextAvailable(l, now)
+}
+
+func (f *Fabric) InitialWeights() []float64 { return f.children[0].InitialWeights() }
+func (f *Fabric) Shapes() []codec.ShapeInfo { return f.children[0].Shapes() }
+
+// Partition tiers each child independently — each edge keeps its own
+// latency structure — and concatenates the per-child partitions into the
+// union id space (tier m of the union is the union of every child's tier
+// m).
+func (f *Fabric) Partition(cfg fl.RunConfig) (*tiering.Tiers, error) {
+	parts := make([]*tiering.Tiers, len(f.children))
+	for c, ch := range f.children {
+		t, err := ch.Partition(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("edge: child %d: %w", c, err)
+		}
+		parts[c] = t
+	}
+	return tiering.Concat(parts, f.offsets, f.total)
+}
+
+// Repartition projects the union partition back onto each child (ids
+// filtered to the child's range and re-based) and forwards it.
+func (f *Fabric) Repartition(t *tiering.Tiers) {
+	for c, ch := range f.children {
+		lo, hi := f.offsets[c], f.offsets[c]+ch.NumClients()
+		sub := &tiering.Tiers{
+			Members:    make([][]int, t.M()),
+			Assignment: make([]int, hi-lo),
+		}
+		for m, members := range t.Members {
+			for _, id := range members {
+				if id >= lo && id < hi {
+					sub.Members[m] = append(sub.Members[m], id-lo)
+					sub.Assignment[id-lo] = m
+				}
+			}
+		}
+		ch.Repartition(sub)
+	}
+}
+
+// Dispatch fans the cohort out to the owning children and reassembles the
+// deliveries into one result set, index-aligned with the original cohort.
+// deliver fires once, when the last child has delivered; with simulated
+// children every sub-delivery is synchronous, so deliver runs before
+// Dispatch returns, exactly like a flat sim fabric.
+func (f *Fabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global []float64, lc fl.LocalConfig, deliver func([]fl.TrainResult, error)) {
+	subCohort := make([][]int, len(f.children)) // local ids per child
+	subSlots := make([][]int, len(f.children))  // cohort positions per child
+	for pos, id := range cohort {
+		c, l := f.locate(id)
+		subCohort[c] = append(subCohort[c], l)
+		subSlots[c] = append(subSlots[c], pos)
+	}
+	merged := make([]fl.TrainResult, len(cohort))
+	remaining := 0
+	for c := range f.children {
+		if len(subCohort[c]) > 0 {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		deliver(merged, nil)
+		return
+	}
+	var firstErr error
+	for c := range f.children {
+		if len(subCohort[c]) == 0 {
+			continue
+		}
+		c := c
+		f.children[c].Dispatch(comm, subCohort[c], now, global, lc, func(results []fl.TrainResult, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			for i, r := range results {
+				r.Client += f.offsets[c] // back to the union id space
+				merged[subSlots[c][i]] = r
+			}
+			if remaining--; remaining == 0 {
+				deliver(merged, firstErr)
+			}
+		})
+	}
+}
+
+// Probe forwards per child; the latest child completion is the result.
+func (f *Fabric) Probe(comm *fl.Comm, ids []int, now float64, w []float64, replyBytes int) (float64, error) {
+	latest := now
+	sub := make([][]int, len(f.children))
+	for _, id := range ids {
+		c, l := f.locate(id)
+		sub[c] = append(sub[c], l)
+	}
+	for c, ch := range f.children {
+		if len(sub[c]) == 0 {
+			continue
+		}
+		done, err := ch.Probe(comm, sub[c], now, w, replyBytes)
+		if err != nil {
+			return 0, err
+		}
+		if done > latest {
+			latest = done
+		}
+	}
+	return latest, nil
+}
+
+// Evaluate merges the children's evaluations, weighting each child by its
+// training-sample mass (the per-client weighting inside each child already
+// uses sample counts; the cross-child weights reuse the same proxy).
+// Children without a harness are skipped; ok is false when none has one.
+func (f *Fabric) Evaluate(w []float64) (fl.Result, bool) {
+	var acc, loss, vari, mass float64
+	any := false
+	for _, ch := range f.children {
+		res, ok := ch.Evaluate(w)
+		if !ok {
+			continue
+		}
+		m := 0.0
+		for l := 0; l < ch.NumClients(); l++ {
+			m += float64(ch.SampleCount(l))
+		}
+		if m == 0 {
+			m = float64(ch.NumClients())
+		}
+		acc += m * res.Acc
+		loss += m * res.Loss
+		vari += m * res.Variance
+		mass += m
+		any = true
+	}
+	if !any || mass == 0 {
+		return fl.Result{}, false
+	}
+	return fl.Result{Acc: acc / mass, Loss: loss / mass, Variance: vari / mass}, true
+}
+
+// EvaluateSubset forwards each id to its owner and weights by subset size.
+func (f *Fabric) EvaluateSubset(w []float64, ids []int) float64 {
+	sub := make([][]int, len(f.children))
+	for _, id := range ids {
+		c, l := f.locate(id)
+		sub[c] = append(sub[c], l)
+	}
+	total, n := 0.0, 0
+	for c, ch := range f.children {
+		if len(sub[c]) == 0 {
+			continue
+		}
+		total += float64(len(sub[c])) * ch.EvaluateSubset(w, sub[c])
+		n += len(sub[c])
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,169 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// Child is one edge of a simulated hierarchy: a constructor binding the
+// edge's fabric to a clock handle of the shared merged timeline (for a
+// simulated edge, Env.FabricOn).
+type Child struct {
+	Fabric func(c simnet.Clock) fl.Fabric
+}
+
+// Options configures a hierarchical run.
+type Options struct {
+	// Fold is the edge→cloud policy (FoldSync default) and Buffer /
+	// StaleExp its async parameters, as in CloudConfig.
+	Fold     string
+	Buffer   int
+	StaleExp float64
+	// PushEvery is how many of its own folds an edge completes per cloud
+	// push; default 1 (push every fold).
+	PushEvery int
+	// TopKFrac enables the top-k delta uplink compressor (CloudConfig).
+	TopKFrac float64
+	// Eval evaluates the merged cloud model over the union population
+	// (optional), every EvalEvery-th cloud fold.
+	Eval      func(w []float64) (fl.Result, bool)
+	EvalEvery int
+	// SeedStride offsets edge e's engine seed by e*SeedStride, so edges
+	// draw uncorrelated selection streams; edge 0 always keeps cfg.Seed,
+	// which is what makes a 1-edge hierarchy replay the flat run exactly.
+	// Default 1_000_003.
+	SeedStride uint64
+}
+
+// Result is a hierarchical run's record: the cloud-level run (edge folds,
+// staleness, cloud traffic, merged-model evaluations), each edge engine's
+// own run, and the final merged model. With one edge the cloud is a
+// pass-through, so Cloud is that edge's run itself.
+type Result struct {
+	Cloud *metrics.Run
+	Edges []*metrics.Run
+	Final []float64
+}
+
+// Run executes one engine per edge — the UNMODIFIED method engine, so each
+// edge is a full FedAT server with its own cohort dispatch, availability,
+// tiering and (with cfg.RetierEvery) runtime re-tiering — over one
+// deterministically merged virtual timeline, with the cloud folding pushed
+// edge models per the fold policy and each edge rebasing onto the merged
+// model it later adopts.
+//
+// Engine start is serialized (edge e's event scheduling completes before
+// edge e+1 starts) and all callbacks interleave on the driver goroutine in
+// global (time, seq) order, so same seed → bit-identical runs regardless
+// of goroutine scheduling.
+func Run(m fl.Method, cfg fl.RunConfig, children []Child, opts Options) (*Result, error) {
+	k := len(children)
+	if k == 0 {
+		return nil, fmt.Errorf("edge: hierarchy with zero edges")
+	}
+	if opts.PushEvery <= 0 {
+		opts.PushEvery = 1
+	}
+	if opts.SeedStride == 0 {
+		opts.SeedStride = 1_000_003
+	}
+
+	mc := simnet.NewMultiClock(k)
+	handles := make([]simnet.Clock, k)
+	fabrics := make([]fl.Fabric, k)
+	for e := range children {
+		handles[e] = mc.Child(e)
+		fabrics[e] = children[e].Fabric(handles[e])
+		if fabrics[e] == nil {
+			return nil, fmt.Errorf("edge: child %d built a nil fabric", e)
+		}
+	}
+	cloud, err := NewCloud(CloudConfig{
+		Edges:     k,
+		Fold:      opts.Fold,
+		Buffer:    opts.Buffer,
+		StaleExp:  opts.StaleExp,
+		W0:        fabrics[0].InitialWeights(),
+		Shapes:    fabrics[0].Shapes(),
+		TopKFrac:  opts.TopKFrac,
+		Eval:      opts.Eval,
+		EvalEvery: opts.EvalEvery,
+		Dataset:   fabrics[0].Dataset(),
+		Method:    m.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// An edge whose engine finishes leaves the fold barrier. The hook runs
+	// on the driver goroutine at a deterministic point of the merged
+	// timeline, so a retirement-completed barrier folds identically on
+	// every same-seed run.
+	mc.OnChildDone = func(e int) { cloud.Retire(e, handles[e].Now()) }
+
+	runs := make([]*metrics.Run, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for e := 0; e < k; e++ {
+		cfgE := cfg
+		cfgE.Seed = cfg.Seed + uint64(e)*opts.SeedStride
+		syncer := &edgeSyncer{cloud: cloud, edge: e, pushEvery: opts.PushEvery}
+		wg.Add(1)
+		go func(e int, syncer *edgeSyncer) {
+			defer wg.Done()
+			defer mc.MarkDone(e)
+			runs[e], errs[e] = m.RunOn(fabrics[e], cfgE, syncer)
+		}(e, syncer)
+		mc.WaitArrive(e)
+	}
+	mc.Drive()
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Edges: runs, Final: cloud.Global()}
+	if k == 1 {
+		// Pass-through: the single edge IS the cloud; its run record is the
+		// authoritative trajectory (bit-identical to the flat run).
+		res.Cloud = runs[0]
+	} else {
+		res.Cloud = cloud.Record()
+	}
+	return res, nil
+}
+
+// edgeSyncer connects one edge's engine to the cloud: after every
+// PushEvery-th of the edge's own folds it pushes the fresh model up
+// (emitting the cloud's EdgeFoldEvent into this edge's stream when the
+// push triggers a fold), and whenever the cloud has moved past the edge's
+// last adoption it hands the merged model back for a rebase.
+type edgeSyncer struct {
+	cloud     *Cloud
+	edge      int
+	pushEvery int
+	folds     int
+}
+
+// OnEvent implements fl.Observer (the Syncer capability rides on the
+// observer list); the syncer only acts through AfterFold.
+func (s *edgeSyncer) OnEvent(fl.Event) {}
+
+// AfterFold implements fl.Syncer.
+func (s *edgeSyncer) AfterFold(f fl.FoldInfo) fl.SyncDirective {
+	s.folds++
+	var d fl.SyncDirective
+	if s.folds%s.pushEvery == 0 {
+		if ev, folded := s.cloud.Push(s.edge, f.Global, f.Time); folded {
+			d.Events = append(d.Events, ev)
+		}
+	}
+	if w, _, ok := s.cloud.Adopt(s.edge); ok {
+		d.Rebase = w
+	}
+	return d
+}

@@ -17,9 +17,10 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files from current output")
 
 // goldenIDs are the experiments whose tiny-preset text output is pinned:
-// a table-heavy report (table1), a timeline + free-text report (fig2) and
-// a variant sweep (ablation-lambda).
-var goldenIDs = []string{"table1", "fig2", "ablation-lambda"}
+// a table-heavy report (table1), a timeline + free-text report (fig2), a
+// variant sweep (ablation-lambda) and the edge-topology comparison
+// (hierarchy — its flat and edge1 rows must stay bit-identical).
+var goldenIDs = []string{"table1", "fig2", "ablation-lambda", "hierarchy"}
 
 func TestGoldenText(t *testing.T) {
 	if testing.Short() {

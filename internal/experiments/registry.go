@@ -30,6 +30,7 @@ var Registry = map[string]Experiment{
 	// Extensions beyond the paper's figures (see DESIGN.md §3).
 	"ablation-compose":   {"ablation-compose", "Novel policy compositions", AblationCompose},
 	"dynamics":           {"dynamics", "Dynamic clients: static vs runtime re-tiering", Dynamics},
+	"hierarchy":          {"hierarchy", "Hierarchical edge fabric: flat vs K-edge topologies", Hierarchy},
 	"ablation-mistier":   {"ablation-mistier", "Mis-tiering tolerance", AblationMisTier},
 	"ablation-staleness": {"ablation-staleness", "FedAsync staleness sweep", AblationStaleness},
 	"ablation-lambda":    {"ablation-lambda", "Proximal λ sweep", AblationLambda},

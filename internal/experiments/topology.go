@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/edge"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// ComposeTopology selects the client topology for compose mode and the
+// hierarchy experiment: flat (the zero value) or a K-edge hierarchy where
+// the population is sharded across K edge aggregators, each running the
+// full unmodified method engine, folding up into a cloud model.
+type ComposeTopology struct {
+	// Edges is K; 0 means flat (no hierarchy layer at all). Edges=1 runs
+	// the hierarchy machinery as a pass-through, bit-identical to flat.
+	Edges int
+	// Fold is the edge→cloud policy (edge.FoldSync / edge.FoldAsync);
+	// Buffer its async push budget.
+	Fold   string
+	Buffer int
+	// TopKFrac enables the top-k delta uplink compressor (0 = raw).
+	TopKFrac float64
+}
+
+// edgeSeedStride separates the per-edge data and cluster seeds. Edge 0
+// keeps the flat seeds unchanged — with one edge, the hierarchy's single
+// shard IS the flat population, which is what makes edge:1 ≡ flat exact.
+const edgeSeedStride = 1009
+
+// runHierarchy builds K per-edge environments by sharding the preset's
+// population contiguously — edge e gets its own federated dataset and its
+// own cluster, seeds offset by e so shards draw distinct data and latency
+// populations — and runs the simulated hierarchy on one merged timeline.
+func runHierarchy(p Preset, d dsSpec, m fl.Method, dyn ComposeDynamics, topo ComposeTopology, mutate func(*fl.RunConfig)) (*edge.Result, error) {
+	k := topo.Edges
+	if k <= 0 {
+		return nil, fmt.Errorf("experiments: hierarchy needs at least one edge")
+	}
+	total := p.Clients
+	if d.large {
+		total = p.LargeClients
+	}
+	if k > total {
+		return nil, fmt.Errorf("experiments: %d edges over %d clients", k, total)
+	}
+
+	cfg := runConfig(p, d)
+	cfg.RetierEvery = dyn.RetierEvery
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	applyRoundBudget(&cfg, m)
+
+	behavior := simnet.BehaviorConfig{
+		DriftMag:      dyn.Drift,
+		DriftInterval: dynBehavior.DriftInterval,
+		DriftClamp:    dynBehavior.DriftClamp,
+		ChurnFrac:     dyn.Churn,
+		ChurnOn:       dynBehavior.ChurnOn,
+		ChurnOff:      dynBehavior.ChurnOff,
+	}
+
+	children := make([]edge.Child, k)
+	var factory fl.ModelFactory
+	var allShards []*dataset.ClientData
+	for e := 0; e < k; e++ {
+		n := total / k
+		if e < total%k {
+			n++
+		}
+		if cfg.NumTiers > n {
+			return nil, fmt.Errorf("experiments: edge %d has %d clients for %d tiers", e, n, cfg.NumTiers)
+		}
+		fedE, err := buildFedSized(p, d, n, uint64(e)*edgeSeedStride)
+		if err != nil {
+			return nil, err
+		}
+		if factory == nil {
+			factory = modelFactory(p, fedE)
+		}
+		allShards = append(allShards, fedE.Clients...)
+		ccfg := clusterConfig(p, n, nil)
+		ccfg.Seed = p.Seed + uint64(e)*edgeSeedStride
+		ccfg.Behavior = behavior
+		cluster, err := simnet.NewCluster(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		env, err := fl.NewEnv(fedE, cluster, factory, cfg)
+		if err != nil {
+			return nil, err
+		}
+		children[e] = edge.Child{Fabric: env.FabricOn}
+	}
+
+	opts := edge.Options{
+		Fold:     topo.Fold,
+		Buffer:   topo.Buffer,
+		TopKFrac: topo.TopKFrac,
+	}
+	if k > 1 {
+		// The cloud evaluates its merged model over the union population.
+		// A 1-edge hierarchy skips this: its record IS the edge engine's,
+		// already evaluated on the engine's own cadence.
+		ev := fl.NewDataEvaluator(factory, p.Seed, allShards)
+		opts.Eval = func(w []float64) (fl.Result, bool) { return ev.Evaluate(w), true }
+		opts.EvalEvery = cfg.EvalEvery
+	}
+	return edge.Run(m, cfg, children, opts)
+}
+
+// buildFedSized is buildFed with an explicit client count and a data-seed
+// offset — the per-edge shard construction.
+func buildFedSized(p Preset, d dsSpec, clients int, seedOffset uint64) (*dataset.Federated, error) {
+	seed := p.Seed + uint64(d.classesPerClient) + seedOffset
+	switch d.name {
+	case "cifar10":
+		return dataset.CIFAR10Like(clients, d.classesPerClient, p.DataScale, seed)
+	case "fashion":
+		return dataset.FashionLike(clients, d.classesPerClient, p.DataScale, seed)
+	case "sent140":
+		return dataset.Sent140Like(clients, d.classesPerClient, p.DataScale, seed)
+	case "femnist":
+		return dataset.FEMNISTLike(clients, p.DataScale, seed)
+	case "reddit":
+		return dataset.RedditLike(clients, p.DataScale, seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", d.name)
+	}
+}
+
+// RunComposedTopology is RunComposedDynamics over an optional hierarchy:
+// with a flat topology it is exactly RunComposedDynamics; with edge:K it
+// runs K engines over sharded populations on one merged timeline and
+// returns the cloud-level run (edge folds, staleness, cloud traffic,
+// merged-model evaluations). Event observers are a flat-topology feature —
+// a hierarchy has K event streams, so -trace style observers are rejected.
+func RunComposedTopology(p Preset, m fl.Method, dyn ComposeDynamics, topo ComposeTopology, obs ...fl.Observer) (*metrics.Run, error) {
+	if topo.Edges <= 0 {
+		return RunComposedDynamics(p, m, dyn, obs...)
+	}
+	if len(obs) > 0 {
+		return nil, fmt.Errorf("experiments: event observers are not supported with an edge topology (a hierarchy has one stream per edge)")
+	}
+	return simulateDirect(func() (*metrics.Run, error) {
+		res, err := runHierarchy(p, dsSpec{name: "cifar10", classesPerClient: 2}, m, dyn, topo, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Cloud, nil
+	})
+}

@@ -65,6 +65,23 @@ type EvalEvent struct {
 	DownBytes int64
 }
 
+// EdgeFoldEvent fires when a hierarchical topology folded edge models into
+// the cloud model. In a simulated hierarchy it is emitted into the
+// triggering edge's event stream right after the TierFoldEvent whose push
+// caused the cloud fold; on the live fabric each edge emits it when the
+// root's merged model arrives. The cloud-level recorder tallies these into
+// metrics.Run.EdgeFolds.
+type EdgeFoldEvent struct {
+	Edge  int     // edge id whose push triggered (or delivered) the fold
+	Round int     // cloud fold count after this fold
+	Time  float64 // the observing run's clock (virtual or wall seconds)
+	// Staleness is how many cloud folds the triggering edge lagged behind:
+	// cloud epochs elapsed since that edge last adopted the merged model.
+	Staleness float64
+	// Members is the number of edge models the fold averaged over.
+	Members int
+}
+
 // RetierEvent fires when the engine re-partitioned the tiers at runtime
 // (RunConfig.RetierEvery) from EWMA-smoothed observed latencies. It fires
 // every retier pass, even when hysteresis held every client in place
@@ -83,6 +100,7 @@ func (ClientDoneEvent) event() {}
 func (TierFoldEvent) event()   {}
 func (EvalEvent) event()       {}
 func (RetierEvent) event()     {}
+func (EdgeFoldEvent) event()   {}
 
 // Observer receives the run event stream in engine-execution order (which
 // for the simulator-paced methods is virtual-time order of the fold and
@@ -123,6 +141,9 @@ func (rec *recorder) OnEvent(ev Event) {
 	case RetierEvent:
 		rec.run.Retiers++
 		rec.run.TierMigrations += e.Migrations
+	case EdgeFoldEvent:
+		rec.run.EdgeFolds++
+		rec.run.EdgeStaleness += e.Staleness
 	}
 }
 

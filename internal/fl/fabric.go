@@ -98,18 +98,26 @@ type Fabric interface {
 
 // simFabric runs methods on the discrete-event simulator: trainGroup
 // computes each round's outcome synchronously (virtual link reservations,
-// injected delays, the lossy codec channel) and a fresh simnet.Sim is the
-// clock. It is the reference fabric: the bit-pinned golden runs define its
-// behavior.
+// injected delays, the lossy codec channel) and a simnet clock is the
+// timeline. It is the reference fabric: the bit-pinned golden runs define
+// its behavior.
 type simFabric struct {
-	*simnet.Sim
+	simnet.Clock
 	env *Env
 }
 
 // Fabric returns a fresh simulated fabric over the environment. Each call
 // makes a new one (the clock starts at zero), so one Env can back many
 // runs.
-func (e *Env) Fabric() Fabric { return &simFabric{Sim: simnet.New(), env: e} }
+func (e *Env) Fabric() Fabric { return e.FabricOn(simnet.New()) }
+
+// FabricOn returns a simulated fabric over the environment driven by an
+// externally owned clock — a child handle of a simnet.MultiClock when the
+// environment is one edge of a hierarchical topology, so K edge fabrics
+// share one deterministically merged timeline. The caller owns the clock's
+// lifecycle; everything else (training arithmetic, link reservations,
+// availability) stays per-environment.
+func (e *Env) FabricOn(c simnet.Clock) Fabric { return &simFabric{Clock: c, env: e} }
 
 func (f *simFabric) Dataset() string { return f.env.Fed.Name }
 func (f *simFabric) NumClients() int { return len(f.env.Clients) }

@@ -149,6 +149,11 @@ func (m Method) RunOn(fab Fabric, cfg RunConfig, obs ...Observer) (*metrics.Run,
 		rule:     ruleFac(),
 		obs:      append([]Observer{rec}, obs...),
 	}
+	for _, o := range obs {
+		if s, ok := o.(Syncer); ok {
+			rs.syncers = append(rs.syncers, s)
+		}
+	}
 	if cfg.RetierEvery > 0 {
 		rs.lat = tiering.NewTracker(fab.NumClients(), cfg.RetierAlpha)
 	}
@@ -180,6 +185,7 @@ type runState struct {
 	sel      Selector
 	rule     UpdateRule
 	obs      []Observer
+	syncers  []Syncer // observers that intervene after folds (edge uplinks)
 
 	tiers      *tiering.Tiers // memoized latency partition
 	nextEvalAt int
@@ -259,6 +265,31 @@ func (rs *runState) releaseResults(results []TrainResult) {
 			results[i].Weights = nil
 		}
 	}
+}
+
+// postFold finishes one engine fold: it emits the TierFoldEvent every
+// observer sees, then gives each attached Syncer its chance to push the
+// fresh model toward the cloud and hand back a merged model to adopt. It
+// returns the global model training continues from — g itself on the flat
+// fast path (no syncers: byte-identical to the pre-hierarchy engine), or
+// the rebased rule state after an adoption. All three pacers call it at
+// their fold sites, so hierarchical sync policy lives in exactly one place.
+func (rs *runState) postFold(tier, round int, now float64, kept int, g []float64) ([]float64, error) {
+	rs.emit(TierFoldEvent{Tier: tier, Round: round, Time: now, Kept: kept, Global: g})
+	for _, s := range rs.syncers {
+		d := s.AfterFold(FoldInfo{Tier: tier, Round: round, Time: now, Global: g})
+		for _, ev := range d.Events {
+			rs.emit(ev)
+		}
+		if d.Rebase != nil {
+			rb, ok := rs.rule.(Rebaser)
+			if !ok {
+				return nil, fmt.Errorf("update rule %q cannot adopt a hierarchical rebase", rs.method.Update)
+			}
+			g = rb.Rebase(d.Rebase)
+		}
+	}
+	return g, nil
 }
 
 // maybeRetier runs a re-tiering pass when RetierEvery global updates have

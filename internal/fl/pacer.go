@@ -110,7 +110,11 @@ func (syncPacer) Run(rs *runState) error {
 					}
 					rs.releaseResults(results)
 					t := rs.rule.Rounds()
-					rs.emit(TierFoldEvent{Tier: tier, Round: t, Time: comp, Kept: len(kept), Global: g})
+					g, err = rs.postFold(tier, t, comp, len(kept), g)
+					if err != nil {
+						fail(err)
+						return
+					}
 					rs.maybeEval(t, comp, g)
 					step(comp)
 				})
@@ -204,7 +208,11 @@ func (tierPacer) Run(rs *runState) error {
 					}
 					rs.releaseResults(results)
 					t := rs.rule.Rounds()
-					rs.emit(TierFoldEvent{Tier: m, Round: t, Time: rs.fab.Now(), Kept: len(kept), Global: g})
+					g, err = rs.postFold(m, t, rs.fab.Now(), len(kept), g)
+					if err != nil {
+						fail(err)
+						return
+					}
 					rs.maybeEval(t, rs.fab.Now(), g)
 					if t >= cfg.Rounds {
 						finish()
@@ -313,7 +321,11 @@ func (clientPacer) Run(rs *runState) error {
 				}
 				rs.comm.Release(r.Weights)
 				t := rs.rule.Rounds()
-				rs.emit(TierFoldEvent{Tier: -1, Round: t, Time: rs.fab.Now(), Kept: 1, Global: g})
+				g, err = rs.postFold(-1, t, rs.fab.Now(), 1, g)
+				if err != nil {
+					fail(err)
+					return
+				}
 				rs.maybeEval(t, rs.fab.Now(), g)
 				if t >= cfg.Rounds || (cfg.MaxSimTime > 0 && rs.fab.Now() >= cfg.MaxSimTime) {
 					done = true

@@ -44,6 +44,20 @@ type TierAware interface {
 	Repartition(t *tiering.Tiers)
 }
 
+// Rebaser marks update rules that can adopt an externally merged global
+// model: in a hierarchical topology the cloud folds the edges' models and
+// each edge's rule rebases its server-side state onto the merged result
+// before training continues. Rebase replaces the rule's model state with w
+// (activity counters persist — they measure this edge's update history,
+// which a merge does not erase) and returns the rule's new global
+// reference, with Global's aliasing rules. ASO-Fed's rule is deliberately
+// not a Rebaser: its global is a derived running average of per-client
+// copies, so overwriting it without rewriting every copy would be silently
+// undone by the next arrival — the engine reports an error instead.
+type Rebaser interface {
+	Rebase(w []float64) []float64
+}
+
 // UpdateRules is the registry of aggregation policies.
 var UpdateRules = map[string]func() UpdateRule{
 	"avg":       func() UpdateRule { return &avgRule{} },
@@ -79,6 +93,9 @@ func (r *avgRule) Fold(f Fold) ([]float64, error) {
 	return r.agg.UpdateTierRef(0, f.Updates)
 }
 
+// Rebase implements Rebaser via the aggregator's state replacement.
+func (r *avgRule) Rebase(w []float64) []float64 { return r.agg.Rebase(w) }
+
 // ---------------------------------------------------------------------------
 // eq5: FedAT's cross-tier fold — one model per tier, global model the Eq. 5
 // update-count-weighted average (uniform weights under cfg.UniformAgg or the
@@ -113,6 +130,10 @@ func (r *eq5Rule) Rounds() int       { return r.agg.Rounds() }
 // route by the NEW assignment. Per-tier model state persists — a migrated
 // client simply starts contributing to its new tier's model.
 func (r *eq5Rule) Repartition(t *tiering.Tiers) { r.assignment = t.Assignment }
+
+// Rebase implements Rebaser: every tier model restarts from the merged
+// cloud model, exactly as Algorithm 2 initializes every tier from w0.
+func (r *eq5Rule) Rebase(w []float64) []float64 { return r.agg.Rebase(w) }
 
 func (r *eq5Rule) Fold(f Fold) ([]float64, error) {
 	if f.Tier >= 0 {
@@ -175,6 +196,13 @@ func (r *stalenessRule) Init(rs *runState) error {
 
 func (r *stalenessRule) Global() []float64 { return r.global }
 func (r *stalenessRule) Rounds() int       { return r.version }
+
+// Rebase implements Rebaser: the blend target simply becomes the merged
+// model; staleness anchors (version) persist.
+func (r *stalenessRule) Rebase(w []float64) []float64 {
+	copy(r.global, w)
+	return r.global
+}
 
 func (r *stalenessRule) Fold(f Fold) ([]float64, error) {
 	if len(f.Updates) == 0 {

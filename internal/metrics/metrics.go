@@ -35,6 +35,12 @@ type Run struct {
 	// for static-tier runs.
 	Retiers        int
 	TierMigrations int
+
+	// EdgeFolds counts hierarchical edge→cloud folds observed on this run's
+	// event stream and EdgeStaleness the summed staleness (in cloud epochs)
+	// of the pushes that triggered them; both stay 0 for flat topologies.
+	EdgeFolds     int
+	EdgeStaleness float64
 }
 
 // Add appends an evaluation point.

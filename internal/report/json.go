@@ -105,9 +105,12 @@ type jsonRun struct {
 	BestAcc      float64 `json:"best_acc"`
 	FinalAcc     float64 `json:"final_acc"`
 	// Runtime re-tiering activity (0/absent for static-tier runs).
-	Retiers        int      `json:"retiers,omitempty"`
-	TierMigrations int      `json:"tier_migrations,omitempty"`
-	Series         []Series `json:"series"`
+	Retiers        int `json:"retiers,omitempty"`
+	TierMigrations int `json:"tier_migrations,omitempty"`
+	// Hierarchical edge→cloud fold activity (0/absent for flat runs).
+	EdgeFolds     int      `json:"edge_folds,omitempty"`
+	EdgeStaleness float64  `json:"edge_staleness,omitempty"`
+	Series        []Series `json:"series"`
 }
 
 // MarshalJSON serializes the report with artifacts as a tagged union and
@@ -141,6 +144,8 @@ func runJSON(key string, run *metrics.Run) jsonRun {
 		FinalAcc:       run.FinalAcc(),
 		Retiers:        run.Retiers,
 		TierMigrations: run.TierMigrations,
+		EdgeFolds:      run.EdgeFolds,
+		EdgeStaleness:  run.EdgeStaleness,
 		Series:         SeriesFromRun(key, run),
 	}
 }

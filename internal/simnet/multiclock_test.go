@@ -1,0 +1,164 @@
+package simnet
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// runChildren starts each child's body on its own goroutine with the
+// serial-start protocol, drives the merged timeline and waits for every
+// child to finish.
+func runChildren(m *MultiClock, bodies []func(c Clock)) {
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body func(Clock)) {
+			defer wg.Done()
+			defer m.MarkDone(i)
+			body(m.Child(i))
+		}(i, body)
+		m.WaitArrive(i)
+	}
+	m.Drive()
+	wg.Wait()
+}
+
+// TestMultiClockMergesTimelines checks that events from different children
+// interleave in global (time, seq) order, that Now is the shared clock, and
+// that the trace is deterministic across repeated runs.
+func TestMultiClockMergesTimelines(t *testing.T) {
+	trace := func() []string {
+		var log []string
+		m := NewMultiClock(2)
+		body := func(id int) func(c Clock) {
+			return func(c Clock) {
+				var tick func(n int)
+				clock := c
+				tick = func(n int) {
+					if n >= 4 {
+						return
+					}
+					log = append(log, fmt.Sprintf("c%d@%g", id, clock.Now()))
+					clock.At(clock.Now()+float64(1+id), func() { tick(n + 1) })
+				}
+				clock.At(float64(id), func() { tick(0) })
+				clock.Run()
+			}
+		}
+		runChildren(m, []func(c Clock){body(0), body(1)})
+		return log
+	}
+	got := trace()
+	want := []string{
+		"c0@0", "c1@1", "c0@1", "c0@2", "c1@3", "c0@3", "c1@5", "c1@7",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged trace = %v, want %v", got, want)
+	}
+	for rep := 0; rep < 5; rep++ {
+		if again := trace(); !reflect.DeepEqual(again, got) {
+			t.Fatalf("rep %d: trace %v != first %v", rep, again, got)
+		}
+	}
+}
+
+// TestMultiClockFIFOAmongTies pins the tie-break: equal timestamps fire in
+// scheduling order, and the serial-start protocol makes that order the
+// child-start order.
+func TestMultiClockFIFOAmongTies(t *testing.T) {
+	var log []string
+	m := NewMultiClock(3)
+	body := func(id int) func(c Clock) {
+		return func(c Clock) {
+			c.At(1, func() { log = append(log, fmt.Sprintf("c%d", id)) })
+			c.Run()
+		}
+	}
+	runChildren(m, []func(c Clock){body(0), body(1), body(2)})
+	if want := []string{"c0", "c1", "c2"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("tie order = %v, want %v", log, want)
+	}
+}
+
+// TestMultiClockStopDiscardsOneChild checks Sim.Stop semantics per child:
+// a stopped child's queued events vanish, the others keep running.
+func TestMultiClockStopDiscardsOneChild(t *testing.T) {
+	var log []string
+	m := NewMultiClock(2)
+	quitter := func(c Clock) {
+		c.At(1, func() {
+			log = append(log, "quit@1")
+			c.Stop()
+		})
+		c.At(2, func() { log = append(log, "quitter@2 (must not fire)") })
+		c.Run()
+	}
+	stayer := func(c Clock) {
+		c.At(3, func() { log = append(log, "stayer@3") })
+		c.Run()
+	}
+	runChildren(m, []func(c Clock){quitter, stayer})
+	if want := []string{"quit@1", "stayer@3"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+}
+
+// TestMultiClockOnChildDone checks the release hook fires once per child on
+// the driver goroutine, in deterministic order: first the child whose queue
+// drains earliest, then the rest.
+func TestMultiClockOnChildDone(t *testing.T) {
+	var order []int
+	m := NewMultiClock(2)
+	m.OnChildDone = func(i int) { order = append(order, i) }
+	short := func(c Clock) {
+		c.At(1, func() {})
+		c.Run()
+	}
+	long := func(c Clock) {
+		c.At(5, func() {})
+		c.Run()
+	}
+	runChildren(m, []func(c Clock){long, short})
+	if want := []int{1, 0}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("release order = %v, want %v", order, want)
+	}
+}
+
+// TestMultiClockDeadChildBeforeRun checks that a child goroutine erroring
+// out before reaching Run (MarkDone without arrival) neither blocks
+// WaitArrive nor stalls Drive.
+func TestMultiClockDeadChildBeforeRun(t *testing.T) {
+	fired := false
+	m := NewMultiClock(2)
+	dead := func(c Clock) { /* returns without calling Run */ }
+	live := func(c Clock) {
+		c.At(1, func() { fired = true })
+		c.Run()
+	}
+	runChildren(m, []func(c Clock){dead, live})
+	if !fired {
+		t.Fatal("live child's event did not fire")
+	}
+}
+
+// TestMultiClockPastSchedulingPanics mirrors Sim.At's causality guard.
+func TestMultiClockPastSchedulingPanics(t *testing.T) {
+	m := NewMultiClock(2)
+	panicked := make(chan bool, 1)
+	scheduler := func(c Clock) {
+		c.At(5, func() {
+			func() {
+				defer func() { panicked <- recover() != nil }()
+				c.At(1, func() {}) // the merged clock is already at 5
+			}()
+		})
+		c.Run()
+	}
+	idle := func(c Clock) { c.Run() }
+	runChildren(m, []func(c Clock){scheduler, idle})
+	if !<-panicked {
+		t.Fatal("scheduling in the past did not panic")
+	}
+}

@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/edge"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// RootConfig configures the cloud tier of a live hierarchy: the root
+// accepts K edge aggregators (each a full fedserver running the method
+// engine over its own clients), folds their pushed models with the same
+// edge.Cloud state machine the simulator uses, and broadcasts the merged
+// model back for adoption.
+type RootConfig struct {
+	// Addr to listen on; port 0 binds an ephemeral port (see Addr).
+	Addr string
+	// Edges is K; edge aggregators register with ids 0..K-1.
+	Edges int
+	// Rounds is the cloud fold budget: after this many cloud folds the root
+	// shuts the hierarchy down. 0 runs until every edge departs.
+	Rounds int
+	// Fold, Buffer, StaleExp select the edge→cloud policy (edge.FoldSync /
+	// edge.FoldAsync semantics).
+	Fold     string
+	Buffer   int
+	StaleExp float64
+	// TopKFrac enables the top-k delta uplink; it must match the edges'
+	// -uplink-topk, since the shared per-edge reference advances in
+	// lockstep on both ends.
+	TopKFrac float64
+	// W0 is the initial model (the shared reference's base); Shapes its
+	// layout. Both must match the edges' (derived from the shared seed).
+	W0     []float64
+	Shapes []codec.ShapeInfo
+	// Eval optionally evaluates the merged model after each EvalEvery-th
+	// cloud fold.
+	Eval      func(w []float64) (fl.Result, bool)
+	EvalEvery int
+	// Dataset and Method label the cloud run record.
+	Dataset string
+	Method  string
+	Logf    func(format string, args ...any)
+}
+
+// RootServer drives the cloud fold loop over live edge connections. Unlike
+// Server it runs no method engine — the engines run on the edges; the root
+// is the edge.Cloud overlay plus a wire.
+type RootServer struct {
+	cfg      RootConfig
+	cloud    *edge.Cloud
+	ln       net.Listener
+	start    time.Time
+	stopping atomic.Bool
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	edges map[uint32]*clientConn
+}
+
+// NewRoot binds the listener; call Run to serve.
+func NewRoot(cfg RootConfig) (*RootServer, error) {
+	if cfg.Edges <= 0 {
+		return nil, fmt.Errorf("transport: root needs at least one edge")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cloud, err := edge.NewCloud(edge.CloudConfig{
+		Edges:     cfg.Edges,
+		Fold:      cfg.Fold,
+		Buffer:    cfg.Buffer,
+		StaleExp:  cfg.StaleExp,
+		W0:        cfg.W0,
+		Shapes:    cfg.Shapes,
+		TopKFrac:  cfg.TopKFrac,
+		Eval:      cfg.Eval,
+		EvalEvery: cfg.EvalEvery,
+		Dataset:   cfg.Dataset,
+		Method:    cfg.Method,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: root listen: %w", err)
+	}
+	return &RootServer{
+		cfg:   cfg,
+		cloud: cloud,
+		ln:    ln,
+		done:  make(chan struct{}),
+		edges: map[uint32]*clientConn{},
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (r *RootServer) Addr() string { return r.ln.Addr().String() }
+
+// now is the root's timeline: wall seconds since Run started.
+func (r *RootServer) now() float64 { return time.Since(r.start).Seconds() }
+
+// Run accepts the K edge registrations, then folds pushes until the cloud
+// round budget is met or every edge has departed. It returns the cloud run
+// record and the final merged model.
+func (r *RootServer) Run() (*metrics.Run, []float64, error) {
+	defer r.ln.Close()
+	r.start = time.Now()
+	if err := r.acceptEdges(); err != nil {
+		r.shutdownEdges()
+		return nil, nil, err
+	}
+	r.cfg.Logf("fed root: %d edges registered; folding %s (budget %d)", r.cfg.Edges, r.cloudFold(), r.cfg.Rounds)
+
+	var wg sync.WaitGroup
+	r.mu.Lock()
+	for _, ec := range r.edges {
+		wg.Add(1)
+		go func(ec *clientConn) {
+			defer wg.Done()
+			r.serveEdge(ec)
+		}(ec)
+	}
+	r.mu.Unlock()
+
+	<-r.done
+	r.shutdownEdges()
+	wg.Wait()
+	return r.cloud.Record(), r.cloud.Global(), nil
+}
+
+func (r *RootServer) cloudFold() string {
+	if r.cfg.Fold == "" {
+		return edge.FoldSync
+	}
+	return r.cfg.Fold
+}
+
+// Shutdown stops the root from another goroutine.
+func (r *RootServer) Shutdown() {
+	r.stopping.Store(true)
+	r.ln.Close()
+	r.finish()
+	r.mu.Lock()
+	now := time.Now()
+	for _, ec := range r.edges {
+		ec.conn.SetReadDeadline(now)
+	}
+	r.mu.Unlock()
+}
+
+func (r *RootServer) finish() {
+	// Stop before signalling: readers that hit connection errors during
+	// teardown must not retire edges (which could mutate the record with a
+	// post-budget fold).
+	r.stopping.Store(true)
+	r.stopOnce.Do(func() { close(r.done) })
+}
+
+func (r *RootServer) acceptEdges() error {
+	for {
+		r.mu.Lock()
+		n := len(r.edges)
+		r.mu.Unlock()
+		if n >= r.cfg.Edges {
+			return nil
+		}
+		conn, err := r.ln.Accept()
+		if err != nil {
+			if r.stopping.Load() {
+				return fmt.Errorf("transport: root shut down during registration (%d/%d edges)", n, r.cfg.Edges)
+			}
+			return fmt.Errorf("transport: root accept: %w", err)
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil || typ != MsgRegister {
+			conn.Close()
+			continue
+		}
+		reg, err := ParseRegister(payload)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		if int(reg.ClientID) >= r.cfg.Edges {
+			conn.Close()
+			return fmt.Errorf("transport: edge id %d out of range [0,%d)", reg.ClientID, r.cfg.Edges)
+		}
+		r.mu.Lock()
+		if _, dup := r.edges[reg.ClientID]; dup {
+			r.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("transport: duplicate edge id %d", reg.ClientID)
+		}
+		r.edges[reg.ClientID] = &clientConn{reg: reg, conn: conn}
+		r.mu.Unlock()
+		r.cfg.Logf("fed root: edge %d registered (%d clients)", reg.ClientID, reg.NumSamples)
+	}
+}
+
+// serveEdge reads one edge's pushes until its connection dies or the run
+// ends. A departing edge retires from the fold barrier — the survivors
+// keep folding (and a retirement that completes the sync barrier folds
+// immediately inside Retire).
+func (r *RootServer) serveEdge(ec *clientConn) {
+	id := int(ec.reg.ClientID)
+	for {
+		typ, payload, err := ReadFrame(ec.conn)
+		if err != nil {
+			if !r.stopping.Load() {
+				r.cfg.Logf("fed root: edge %d departed: %v", id, err)
+				before := r.cloud.Epoch()
+				r.cloud.Retire(id, r.now())
+				r.dropEdge(ec)
+				if r.cloud.Epoch() > before {
+					// Its departure completed the barrier: the survivors'
+					// fold happened inside Retire; broadcast it.
+					r.broadcastAdoption()
+				}
+				r.checkFinished()
+			}
+			return
+		}
+		switch typ {
+		case MsgModelUpdate:
+			edgeID, _, _, model, err := ParseModelUpdate(payload)
+			if err != nil || int(edgeID) != id {
+				r.cfg.Logf("fed root: edge %d sent a malformed update", id)
+				continue
+			}
+			ev, folded, err := r.cloud.PushWire(id, model, r.now())
+			if err != nil {
+				r.cfg.Logf("fed root: edge %d push rejected: %v", id, err)
+				continue
+			}
+			if folded {
+				r.cfg.Logf("fed root: cloud fold %d (%d members, staleness %.0f)", ev.Round, ev.Members, ev.Staleness)
+				r.broadcastAdoption()
+				r.checkFinished()
+			}
+		default:
+			r.cfg.Logf("fed root: edge %d sent unexpected message type %d", id, typ)
+		}
+	}
+}
+
+// broadcastAdoption offers every connected edge the merged model it has
+// not yet adopted. Adoption rides MsgModelPush with the cloud epoch as the
+// round — the edge's uplink uses it to stamp staleness.
+func (r *RootServer) broadcastAdoption() {
+	r.mu.Lock()
+	conns := make([]*clientConn, 0, len(r.edges))
+	for _, ec := range r.edges {
+		conns = append(conns, ec)
+	}
+	r.mu.Unlock()
+	for _, ec := range conns {
+		w, epoch, ok := r.cloud.Adopt(int(ec.reg.ClientID))
+		if !ok {
+			continue
+		}
+		model, err := codec.MarshalModel(codec.Raw{}, r.cfg.Shapes, w)
+		if err != nil {
+			r.cfg.Logf("fed root: marshal adoption: %v", err)
+			return
+		}
+		spec := PushSpec{Round: uint64(epoch), Epochs: r.cloud.Live()}
+		if err := ec.send(MsgModelPush, ModelPush(spec, model)); err != nil {
+			r.cfg.Logf("fed root: adoption to edge %d: %v", ec.reg.ClientID, err)
+		}
+	}
+}
+
+// checkFinished ends the run when the fold budget is met or no edge is
+// left.
+func (r *RootServer) checkFinished() {
+	if r.cfg.Rounds > 0 && r.cloud.Epoch() >= r.cfg.Rounds {
+		r.finish()
+		return
+	}
+	if r.cloud.Live() == 0 {
+		r.finish()
+	}
+}
+
+func (r *RootServer) dropEdge(ec *clientConn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.edges[ec.reg.ClientID]; !ok {
+		return
+	}
+	delete(r.edges, ec.reg.ClientID)
+	ec.conn.Close()
+}
+
+func (r *RootServer) shutdownEdges() {
+	r.stopping.Store(true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ec := range r.edges {
+		if err := ec.send(MsgShutdown, nil); err != nil {
+			r.cfg.Logf("fed root: shutdown to edge %d: %v", ec.reg.ClientID, err)
+		}
+		ec.conn.Close()
+	}
+}

@@ -43,6 +43,11 @@ type ServerConfig struct {
 	// seed). Without it the run record carries no accuracy points, and
 	// TiFL's accuracy-driven selection degrades to credit-only behavior.
 	Eval *fl.Evaluator
+	// Observers subscribe to the engine's run event stream alongside the
+	// built-in recorder. The edge role of a hierarchy attaches its cloud
+	// uplink here — an fl.Syncer rides the observer list, so the engine
+	// pushes to (and rebases from) the root after its own folds.
+	Observers []fl.Observer
 	// RoundTimeout bounds how long the server waits for one client's
 	// response to a model push before dropping it — without it a silent
 	// peer (half-open connection, stopped process) would stall its round
@@ -171,7 +176,8 @@ func (s *Server) Run() (*metrics.Run, []float64, error) {
 		}
 	})
 
-	run, err := s.cfg.Method.RunOn(fab, s.cfg.Run, append([]fl.Observer{capture}, s.extraObs...)...)
+	obs := append([]fl.Observer{capture}, s.cfg.Observers...)
+	run, err := s.cfg.Method.RunOn(fab, s.cfg.Run, append(obs, s.extraObs...)...)
 	// Let in-flight collectors finish reading their last responses before
 	// connections close, so idle clients get a clean shutdown frame.
 	fab.drain()

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/edge"
+	"repro/internal/fl"
+)
+
+// UplinkConfig configures an edge aggregator's connection to the root.
+type UplinkConfig struct {
+	// Root is the root server's address.
+	Root string
+	// EdgeID is this edge's id in the root's 0..K-1 space.
+	EdgeID int
+	// NumClients is advisory (the root logs it).
+	NumClients int
+	// PushEvery is how many of the edge engine's own folds pass between
+	// cloud pushes; default 1.
+	PushEvery int
+	// TopKFrac enables the top-k delta uplink; must match the root's.
+	TopKFrac float64
+	// W0 is the initial model (the delta codec's reference base); Shapes
+	// its layout. Must match the root's.
+	W0     []float64
+	Shapes []codec.ShapeInfo
+	// DialTimeout bounds the initial connect retries (root and edges start
+	// concurrently); 0 means the 5-second default, negative tries once.
+	DialTimeout time.Duration
+	Logf        func(format string, args ...any)
+}
+
+// EdgeUplink connects one edge server's engine to the live root: as an
+// fl.Syncer on the engine's observer list it pushes the fresh edge model
+// up after each PushEvery-th fold and rebases the engine onto whatever
+// merged model the root has broadcast since. If the root goes away (or a
+// write fails, which would desynchronize the shared delta reference), the
+// uplink degrades permanently to standalone: the edge keeps serving its
+// own clients as a flat server — the hierarchy's graceful-degradation
+// contract.
+type EdgeUplink struct {
+	cfg  UplinkConfig
+	conn net.Conn
+	wmu  sync.Mutex
+	cdc  codec.Codec
+	ref  []float64 // shared delta reference, advanced on every sent push
+
+	folds  int
+	pushes uint64
+
+	mu          sync.Mutex
+	adoption    []float64 // latest merged model from the root, nil once taken
+	adoptEpoch  int
+	members     int
+	lastAdopted int
+	degraded    bool
+}
+
+// DialUplink connects and registers with the root. The reader goroutine it
+// starts delivers adoption broadcasts into a mailbox the engine drains at
+// its own fold points, so the engine's loop never blocks on the root.
+func DialUplink(cfg UplinkConfig) (*EdgeUplink, error) {
+	if cfg.PushEvery <= 0 {
+		cfg.PushEvery = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if len(cfg.W0) == 0 {
+		return nil, fmt.Errorf("transport: uplink needs the initial model")
+	}
+	conn, err := dialRetry(cfg.Root, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	reg := Register{ClientID: uint32(cfg.EdgeID), NumSamples: uint32(cfg.NumClients)}
+	if err := WriteFrame(conn, MsgRegister, reg.Marshal()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	u := &EdgeUplink{cfg: cfg, conn: conn, cdc: codec.Raw{}}
+	if cfg.TopKFrac > 0 {
+		u.cdc = &codec.TopK{Frac: cfg.TopKFrac}
+	}
+	u.ref = append([]float64(nil), cfg.W0...)
+	go u.readLoop()
+	return u, nil
+}
+
+// Close tears the connection down (after the edge engine has finished).
+func (u *EdgeUplink) Close() { u.conn.Close() }
+
+// Degraded reports whether the uplink has fallen back to standalone.
+func (u *EdgeUplink) Degraded() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.degraded
+}
+
+// readLoop fills the adoption mailbox until the root disconnects.
+func (u *EdgeUplink) readLoop() {
+	for {
+		typ, payload, err := ReadFrame(u.conn)
+		if err != nil {
+			u.degrade("root connection lost: %v", err)
+			return
+		}
+		switch typ {
+		case MsgShutdown:
+			u.degrade("root completed its fold budget")
+			return
+		case MsgModelPush:
+			spec, modelMsg, err := ParseModelPush(payload)
+			if err != nil {
+				u.degrade("malformed adoption push: %v", err)
+				return
+			}
+			_, w, err := codec.UnmarshalModel(modelMsg)
+			if err != nil {
+				u.degrade("adoption model corrupt: %v", err)
+				return
+			}
+			u.mu.Lock()
+			u.adoption = w
+			u.adoptEpoch = int(spec.Round)
+			u.members = spec.Epochs
+			u.mu.Unlock()
+		default:
+			u.cfg.Logf("edge uplink %d: unexpected message type %d", u.cfg.EdgeID, typ)
+		}
+	}
+}
+
+func (u *EdgeUplink) degrade(format string, args ...any) {
+	u.mu.Lock()
+	already := u.degraded
+	u.degraded = true
+	u.mu.Unlock()
+	if !already {
+		u.cfg.Logf("edge uplink %d: degrading to standalone: %s", u.cfg.EdgeID, fmt.Sprintf(format, args...))
+	}
+}
+
+// OnEvent implements fl.Observer; the uplink acts only through AfterFold.
+func (u *EdgeUplink) OnEvent(fl.Event) {}
+
+// AfterFold implements fl.Syncer: push the fresh edge model to the root,
+// then adopt whatever merged model the root broadcast since the last fold.
+// Both halves run on the engine's loop goroutine, so the rebase lands
+// between engine steps exactly as in the simulated hierarchy.
+func (u *EdgeUplink) AfterFold(f fl.FoldInfo) fl.SyncDirective {
+	var d fl.SyncDirective
+	if u.Degraded() {
+		return d
+	}
+	u.folds++
+	if u.folds%u.cfg.PushEvery == 0 {
+		msg, err := edge.EncodeUplink(u.cdc, u.cfg.Shapes, u.ref, f.Global)
+		if err != nil {
+			u.degrade("encode push: %v", err)
+			return d
+		}
+		u.pushes++
+		frame := ModelUpdate(uint32(u.cfg.EdgeID), 0, u.pushes, msg)
+		u.wmu.Lock()
+		err = WriteFrame(u.conn, MsgModelUpdate, frame)
+		u.wmu.Unlock()
+		if err != nil {
+			// An unsent push must not advance the shared reference — the
+			// root never saw it, so continuing would corrupt every later
+			// delta. Degrade instead.
+			u.degrade("push write: %v", err)
+			return d
+		}
+		// Advance our reference exactly as the root reconstructs it.
+		if _, err := edge.DecodeUplink(msg, u.ref); err != nil {
+			u.degrade("reference advance: %v", err)
+			return d
+		}
+	}
+	u.mu.Lock()
+	if u.adoption != nil && u.adoptEpoch > u.lastAdopted {
+		staleness := float64(u.adoptEpoch - u.lastAdopted - 1)
+		d.Rebase = u.adoption
+		d.Events = append(d.Events, fl.EdgeFoldEvent{
+			Edge:      u.cfg.EdgeID,
+			Round:     u.adoptEpoch,
+			Time:      f.Time,
+			Staleness: staleness,
+			Members:   u.members,
+		})
+		u.lastAdopted = u.adoptEpoch
+		u.adoption = nil
+	}
+	u.mu.Unlock()
+	return d
+}
