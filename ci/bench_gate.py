@@ -24,6 +24,13 @@ Two subcommands, shared by CI and local use:
       committed baseline, or when the baseline lists a method the current
       suite no longer has (stale baseline — regenerate it).
 
+      allocs/op is gated too, directly (allocation counts are
+      machine-independent, so no host normalization applies): a method
+      fails when its count exceeds the baseline by the same threshold
+      factor AND by more than 8 allocations — the absolute slack keeps
+      tiny counts (2 -> 3 allocs) from tripping a ratio meant for real
+      pool regressions.
+
       Ratios are normalized by the MEDIAN ratio across all methods
       before gating: the baseline and the CI runner are different
       machines, so a uniform speed difference (hardware, load) cancels
@@ -108,8 +115,17 @@ def delta_table(cur, base, threshold=None):
             flag = "  << REGRESSION"
             failures.append("%s regressed %.0f%% vs the suite (%.0f -> %.0f ns/op raw)"
                             % (method, (norm - 1) * 100, b, c))
-        allocs = "%d->%d" % (base[method].get("allocs_per_op", 0),
-                             cur[method].get("allocs_per_op", 0))
+        b_allocs = base[method].get("allocs_per_op", 0)
+        c_allocs = cur[method].get("allocs_per_op", 0)
+        # Allocation counts are deterministic per code path, so gate them
+        # raw: ratio over threshold AND more than 8 extra allocs (absolute
+        # slack so 2->3 on a tiny method is not a failure).
+        if (threshold is not None and c_allocs > b_allocs * threshold
+                and c_allocs - b_allocs > 8):
+            flag = "  << ALLOC REGRESSION"
+            failures.append("%s allocs/op grew %d -> %d (pooled hot path leaking?)"
+                            % (method, b_allocs, c_allocs))
+        allocs = "%d->%d" % (b_allocs, c_allocs)
         print("%-16s %14.0f %14.0f %6.2fx %9.2fx %13s%s"
               % (method, b, c, ratios[method], norm, allocs, flag))
     for method in sorted(set(cur) - set(base)):

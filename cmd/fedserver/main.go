@@ -41,6 +41,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/rng"
+	"repro/internal/robust"
 	"repro/internal/transport"
 )
 
@@ -63,9 +64,20 @@ func main() {
 		// Method composition, mirroring fedsim -compose.
 		method  = flag.String("method", "fedat", "registry method to run: "+strings.Join(fl.MethodNames(), ", "))
 		selName = flag.String("select", "", "override the selection policy: random, oversel, tifl, all")
-		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client")
-		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed")
+		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client, fedbuff")
+		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed, median, trimmed, krum")
 		name    = flag.String("name", "", "display name for the composed method")
+		bufferK = flag.Int("buffer-k", 0, "fedbuff pacer: arrivals buffered per fold (0 = clients per round)")
+
+		// Adversarial regime + defenses (the live analogue of fedsim's
+		// attack knobs): the server directs a deterministic subset of the
+		// population — simnet.AttackTargets over -seed, the same subset the
+		// simulator poisons — to attack during local training.
+		attackKind  = flag.String("attack", "", "direct an attack regime: labelflip, scale, freeride")
+		attackFrac  = flag.Float64("attack-frac", 0, "fraction of the population directed to attack")
+		attackScale = flag.Float64("attack-scale", 0, "scale attack amplification factor (0 = default 10x)")
+		dpClip      = flag.Float64("dp-clip", 0, "per-client DP delta clip norm shipped with every push (0 = off)")
+		dpNoise     = flag.Float64("dp-noise", 0, "DP Gaussian noise multiplier (noise sigma = multiplier * clip)")
 
 		// Hierarchical topology.
 		role       = flag.String("role", "flat", "server role: flat (standalone), edge (serves clients, folds up to -root), root (cloud: folds edge pushes)")
@@ -90,6 +102,10 @@ func main() {
 	})
 	if *dataSeed == 0 {
 		*dataSeed = *seed
+	}
+	akind, err := robust.ParseKind(*attackKind)
+	if err != nil {
+		log.Fatal("fedserver: ", err)
 	}
 
 	fed, factory, err := buildFederation(*ds, *clients, *dataSeed)
@@ -156,13 +172,18 @@ func main() {
 			BatchSize:       *batch,
 			Lambda:          *lambda, // 0 → fl.DefaultLambda via withDefaults
 			RetierEvery:     *retier,
+			BufferK:         *bufferK,
+			DPClip:          *dpClip,
+			DPNoise:         *dpNoise,
 			Codec:           wire,
 			Seed:            *seed,
 		},
-		Shapes:    shapes,
-		W0:        ref.WeightsCopy(),
-		Dataset:   fed.Name,
-		Observers: observers,
+		Shapes:     shapes,
+		W0:         ref.WeightsCopy(),
+		Dataset:    fed.Name,
+		Observers:  observers,
+		Attack:     robust.Attack{Kind: akind, Scale: *attackScale},
+		AttackFrac: *attackFrac,
 		// The server mirrors the federation from the shared seed, so it can
 		// evaluate the global model (and feed TiFL's accuracy-driven
 		// selection) without extra client traffic.

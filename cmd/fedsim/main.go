@@ -49,8 +49,8 @@ func main() {
 		// Composition mode: run one method assembled from policies.
 		compose = flag.String("compose", "", "run a single method composition: a registry method name used as the base spec (see -select/-pacer/-agg)")
 		selName = flag.String("select", "", "override the selection policy: random, oversel, tifl, all")
-		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client")
-		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed")
+		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client, fedbuff")
+		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed, median, trimmed, krum")
 		name    = flag.String("name", "", "display name for the composed method (default derived from overrides)")
 		trace   = flag.Bool("trace", false, "with -compose, print the run's event stream to stderr")
 
@@ -59,6 +59,16 @@ func main() {
 		drift  = flag.Float64("drift", 0, "with -compose, speed-drift magnitude per interval (e.g. 0.45; 0 = static speeds)")
 		churn  = flag.Float64("churn", 0, "with -compose, fraction of clients cycling offline (e.g. 0.2; 0 = no churn)")
 		retier = flag.Int("retier-every", 0, "with -compose, re-tier from observed latencies every N global updates (0 = static tiers)")
+
+		// Adversarial / privacy knobs (compose mode); see the 'robustness'
+		// experiment.
+		attackKind  = flag.String("attack", "", "with -compose, attack regime: labelflip, scale, freeride")
+		attackFrac  = flag.Float64("attack-frac", 0, "with -compose, fraction of clients attacking (e.g. 0.3)")
+		attackScale = flag.Float64("attack-scale", 0, "with -compose, scale attack amplification (0 = default 10x)")
+		attackTail  = flag.Bool("attack-tail", false, "with -compose, aim the attack at the slowest clients instead of a seed-drawn subset")
+		dpClip      = flag.Float64("dp-clip", 0, "with -compose, per-client DP delta clip norm (0 = off)")
+		dpNoise     = flag.Float64("dp-noise", 0, "with -compose, DP Gaussian noise multiplier (sigma = multiplier * clip)")
+		bufferK     = flag.Int("buffer-k", 0, "with -compose -pacer fedbuff, arrivals buffered per fold (0 = clients per round)")
 
 		// Hierarchical-topology knobs (compose mode): shard the population
 		// across K edge aggregators; see the 'hierarchy' experiment.
@@ -83,7 +93,11 @@ func main() {
 		}
 		return
 	}
-	dyn := experiments.ComposeDynamics{Drift: *drift, Churn: *churn, RetierEvery: *retier}
+	dyn := experiments.ComposeDynamics{
+		Drift: *drift, Churn: *churn, RetierEvery: *retier,
+		AttackKind: *attackKind, AttackFrac: *attackFrac, AttackScale: *attackScale, AttackTail: *attackTail,
+		DPClip: *dpClip, DPNoise: *dpNoise, BufferK: *bufferK,
+	}
 	topo, err := parseTopology(*topology, *edgeFold, *edgeBuffer, *uplinkTopK)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
@@ -99,7 +113,7 @@ func main() {
 		}
 	}
 	if dyn != (experiments.ComposeDynamics{}) {
-		fmt.Fprintln(os.Stderr, "fedsim: -drift/-churn/-retier-every require -compose (the 'dynamics' experiment carries its own)")
+		fmt.Fprintln(os.Stderr, "fedsim: -drift/-churn/-retier-every/-attack*/-dp-*/-buffer-k require -compose (the 'dynamics' and 'robustness' experiments carry their own)")
 		os.Exit(2)
 	}
 	if topo.Edges > 0 {

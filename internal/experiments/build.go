@@ -244,8 +244,10 @@ func RunComposed(p Preset, m fl.Method, obs ...fl.Observer) (*metrics.Run, error
 }
 
 // ComposeDynamics are the optional dynamic-population knobs of fedsim's
-// compose mode (-drift / -churn / -retier-every). The zero value runs the
-// static testbed, bit-identical to RunComposed before dynamics existed.
+// compose mode (-drift / -churn / -retier-every, plus the adversarial and
+// privacy knobs). The zero value runs the static testbed, bit-identical to
+// RunComposed before dynamics existed. Kept comparable: fedsim detects "any
+// knob set" by comparing against the zero value.
 type ComposeDynamics struct {
 	// Drift is the speed random-walk magnitude per interval (0 = off); the
 	// interval, clamp and churn windows are the dynamics experiment's.
@@ -255,26 +257,57 @@ type ComposeDynamics struct {
 	// RetierEvery re-tiers from observed latencies every N global updates
 	// (0 = static tiers).
 	RetierEvery int
+	// AttackKind/AttackFrac/AttackScale switch on an adversarial subpopulation
+	// (internal/robust attack kinds); AttackTail aims it at the slowest
+	// clients instead of a seed-drawn subset.
+	AttackKind  string
+	AttackFrac  float64
+	AttackScale float64
+	AttackTail  bool
+	// DPClip/DPNoise enable the per-client DP stage (clip norm, noise
+	// multiplier).
+	DPClip  float64
+	DPNoise float64
+	// BufferK sizes the fedbuff pacer's fold buffer (0 = clients per round).
+	BufferK int
+}
+
+// behavior assembles the simnet behavior regime these knobs describe; the
+// drift interval, clamp and churn windows are the dynamics experiment's.
+func (dyn ComposeDynamics) behavior() simnet.BehaviorConfig {
+	return simnet.BehaviorConfig{
+		DriftMag:      dyn.Drift,
+		DriftInterval: dynBehavior.DriftInterval,
+		DriftClamp:    dynBehavior.DriftClamp,
+		ChurnFrac:     dyn.Churn,
+		ChurnOn:       dynBehavior.ChurnOn,
+		ChurnOff:      dynBehavior.ChurnOff,
+		AttackKind:    dyn.AttackKind,
+		AttackFrac:    dyn.AttackFrac,
+		AttackScale:   dyn.AttackScale,
+		AttackTail:    dyn.AttackTail,
+	}
+}
+
+// applyRun writes the engine-side knobs into a RunConfig.
+func (dyn ComposeDynamics) applyRun(cfg *fl.RunConfig) {
+	cfg.RetierEvery = dyn.RetierEvery
+	cfg.DPClip = dyn.DPClip
+	cfg.DPNoise = dyn.DPNoise
+	cfg.BufferK = dyn.BufferK
 }
 
 // RunComposedDynamics is RunComposed over an optionally drifting, churning
-// population with runtime re-tiering.
+// (and possibly adversarial) population with runtime re-tiering.
 func RunComposedDynamics(p Preset, m fl.Method, dyn ComposeDynamics, obs ...fl.Observer) (*metrics.Run, error) {
 	return simulateDirect(func() (*metrics.Run, error) {
 		env, err := buildEnvFull(p, dsSpec{name: "cifar10", classesPerClient: 2}, nil,
 			func(cfg *fl.RunConfig) {
-				cfg.RetierEvery = dyn.RetierEvery
+				dyn.applyRun(cfg)
 				applyRoundBudget(cfg, m)
 			},
 			func(cc *simnet.ClusterConfig) {
-				cc.Behavior = simnet.BehaviorConfig{
-					DriftMag:      dyn.Drift,
-					DriftInterval: dynBehavior.DriftInterval,
-					DriftClamp:    dynBehavior.DriftClamp,
-					ChurnFrac:     dyn.Churn,
-					ChurnOn:       dynBehavior.ChurnOn,
-					ChurnOff:      dynBehavior.ChurnOff,
-				}
+				cc.Behavior = dyn.behavior()
 			})
 		if err != nil {
 			return nil, err

@@ -18,9 +18,11 @@ var update = flag.Bool("update", false, "rewrite golden files from current outpu
 
 // goldenIDs are the experiments whose tiny-preset text output is pinned:
 // a table-heavy report (table1), a timeline + free-text report (fig2), a
-// variant sweep (ablation-lambda) and the edge-topology comparison
-// (hierarchy — its flat and edge1 rows must stay bit-identical).
-var goldenIDs = []string{"table1", "fig2", "ablation-lambda", "hierarchy"}
+// variant sweep (ablation-lambda), the edge-topology comparison (hierarchy
+// — its flat and edge1 rows must stay bit-identical) and the adversarial
+// grid (robustness — pins each fold family's degradation curve and the
+// tiering×attackers comparison).
+var goldenIDs = []string{"table1", "fig2", "ablation-lambda", "hierarchy", "robustness"}
 
 func TestGoldenText(t *testing.T) {
 	if testing.Short() {

@@ -32,6 +32,7 @@ var Registry = map[string]Experiment{
 	"dynamics":           {"dynamics", "Dynamic clients: static vs runtime re-tiering", Dynamics},
 	"hierarchy":          {"hierarchy", "Hierarchical edge fabric: flat vs K-edge topologies", Hierarchy},
 	"ablation-mistier":   {"ablation-mistier", "Mis-tiering tolerance", AblationMisTier},
+	"robustness":         {"robustness", "Adversarial robustness: attacks, robust folds, DP", Robustness},
 	"ablation-staleness": {"ablation-staleness", "FedAsync staleness sweep", AblationStaleness},
 	"ablation-lambda":    {"ablation-lambda", "Proximal λ sweep", AblationLambda},
 	"ablation-oversel":   {"ablation-oversel", "Over-selection baseline", AblationOverSelect},

@@ -49,20 +49,13 @@ func runHierarchy(p Preset, d dsSpec, m fl.Method, dyn ComposeDynamics, topo Com
 	}
 
 	cfg := runConfig(p, d)
-	cfg.RetierEvery = dyn.RetierEvery
+	dyn.applyRun(&cfg)
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	applyRoundBudget(&cfg, m)
 
-	behavior := simnet.BehaviorConfig{
-		DriftMag:      dyn.Drift,
-		DriftInterval: dynBehavior.DriftInterval,
-		DriftClamp:    dynBehavior.DriftClamp,
-		ChurnFrac:     dyn.Churn,
-		ChurnOn:       dynBehavior.ChurnOn,
-		ChurnOff:      dynBehavior.ChurnOff,
-	}
+	behavior := dyn.behavior()
 
 	children := make([]edge.Child, k)
 	var factory fl.ModelFactory

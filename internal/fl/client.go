@@ -18,6 +18,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/robust"
 	"repro/internal/simnet"
 	"repro/internal/tensor"
 )
@@ -31,14 +32,27 @@ type Client struct {
 	Net     *nn.Network
 	Opt     opt.Optimizer
 	Runtime *simnet.ClientRuntime
+	// Attack is the client's malicious behavior (zero value = honest).
+	// Applied inside TrainLocal, so the simulated and live fabrics poison
+	// identically.
+	Attack robust.Attack
 
 	scheduleRNG *rng.RNG // fixed pseudo-random mini-batch schedule (§6)
+	dpRNG       *rng.RNG // differential-privacy noise stream (dpStreamBase)
 	batchX      *tensor.Mat
 	batchY      []int
 	batchView   tensor.Mat // retargeted remainder-batch view over batchX
 	perm        []int      // per-epoch shuffle order, reused across rounds
 	wOut        []float64  // result buffer, reused across rounds
 }
+
+// Per-client stream bases off the run seed. The schedule base predates the
+// DP stage; DP noise gets its own disjoint base so enabling the clip stage
+// cannot perturb the batch schedule (and a DP-off run draws nothing).
+const (
+	scheduleStreamBase = 500_000
+	dpStreamBase       = 600_000
+)
 
 // NewLocalClient builds a Client without a simulated runtime, for callers
 // that live on real clocks (the TCP transport) or drive training directly
@@ -49,7 +63,8 @@ func NewLocalClient(id int, data *dataset.ClientData, net *nn.Network, o opt.Opt
 		Data:        data,
 		Net:         net,
 		Opt:         o,
-		scheduleRNG: rng.New(seed).SplitLabeled(uint64(500_000 + id)),
+		scheduleRNG: rng.New(seed).SplitLabeled(uint64(scheduleStreamBase + id)),
+		dpRNG:       rng.New(seed).SplitLabeled(uint64(dpStreamBase + id)),
 	}
 }
 
@@ -64,6 +79,13 @@ type LocalConfig struct {
 	// the same (client, round) pair always yields the same batches, the
 	// fairness device of §6 applied across all compared methods.
 	Round uint64
+	// DPClip > 0 enables the per-client differential-privacy stage: the
+	// local delta is clipped to this L2 norm and perturbed with Gaussian
+	// noise of per-coordinate stddev DPNoise·DPClip, drawn from the
+	// client's dedicated DP stream labeled by Round. 0 disables the stage
+	// (and draws nothing).
+	DPClip  float64
+	DPNoise float64
 }
 
 // Steps returns the number of mini-batch steps a round performs on n
@@ -129,7 +151,7 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 			for i := 0; i < m; i++ {
 				src := order[lo+i]
 				copy(bx.Row(i), c.Data.TrainX.Row(src))
-				by[i] = c.Data.TrainY[src]
+				by[i] = c.Attack.FlipLabel(c.Data.TrainY[src])
 			}
 			c.Net.ZeroGrad()
 			c.Net.Backprop(bx, by)
@@ -140,6 +162,11 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 	}
 	c.wOut = tensor.EnsureVec(c.wOut, len(globalW))
 	copy(c.wOut, c.Net.Weights())
+	c.Attack.ApplyDelta(c.wOut, globalW)
+	if lc.DPClip > 0 && c.dpRNG != nil {
+		g := c.dpRNG.SplitLabeledValue(lc.Round)
+		robust.Sanitize(c.wOut, globalW, lc.DPClip, lc.DPNoise, &g)
+	}
 	return c.wOut, steps
 }
 

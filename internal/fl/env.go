@@ -79,6 +79,25 @@ type RunConfig struct {
 	// (default 0.15).
 	RetierMargin float64
 
+	// DPClip > 0 enables the per-client differential-privacy stage on
+	// every local update: clip the delta to this L2 norm, then add
+	// Gaussian noise with per-coordinate stddev DPNoise·DPClip from each
+	// client's dedicated labeled stream. Off by default — a DP-off run
+	// draws nothing and stays byte-identical to builds without the stage.
+	DPClip  float64
+	DPNoise float64
+
+	// TrimBeta is the per-side trim fraction of the "trimmed" robust
+	// update rule (default 0.2).
+	TrimBeta float64
+	// KrumF is the byzantine count the "krum" rule tolerates; 0 picks the
+	// standard (cohort-3)/2 adaptively per fold.
+	KrumF int
+
+	// BufferK is the "fedbuff" pacer's buffer size: the global model folds
+	// once every K client arrivals (default ClientsPerRound).
+	BufferK int
+
 	Seed uint64
 }
 
@@ -140,6 +159,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.RetierMargin <= 0 {
 		c.RetierMargin = 0.15
 	}
+	if c.TrimBeta <= 0 {
+		c.TrimBeta = 0.2
+	}
+	if c.BufferK <= 0 {
+		c.BufferK = c.ClientsPerRound
+	}
 	return c
 }
 
@@ -194,13 +219,17 @@ func NewEnv(fed *dataset.Federated, cluster *simnet.Cluster, factory ModelFactor
 		} else {
 			o = opt.NewAdam(cfg.LearningRate)
 		}
+		attack := cluster.Clients[i].Attack
+		attack.Classes = fed.Classes // simnet can't know the label space
 		env.Clients[i] = &Client{
 			ID:          i,
 			Data:        fed.Clients[i],
 			Net:         factory(cfg.Seed), // same init everywhere; server state rules
 			Opt:         o,
 			Runtime:     cluster.Clients[i],
-			scheduleRNG: root.SplitLabeled(uint64(500_000 + i)),
+			Attack:      attack,
+			scheduleRNG: root.SplitLabeled(uint64(scheduleStreamBase + i)),
+			dpRNG:       root.SplitLabeled(uint64(dpStreamBase + i)),
 		}
 	}
 	env.Eval = NewEvaluator(factory, cfg.Seed, env.Clients)
@@ -225,6 +254,8 @@ func (e *Env) LocalConfig(lambda float64, round uint64) LocalConfig {
 		BatchSize: e.Cfg.BatchSize,
 		Lambda:    lambda,
 		Round:     round,
+		DPClip:    e.Cfg.DPClip,
+		DPNoise:   e.Cfg.DPNoise,
 	}
 }
 

@@ -225,6 +225,8 @@ func (rs *runState) localConfig(round uint64) LocalConfig {
 		BatchSize: rs.cfg.BatchSize,
 		Lambda:    lambda,
 		Round:     round,
+		DPClip:    rs.cfg.DPClip,
+		DPNoise:   rs.cfg.DPNoise,
 	}
 	if rs.method.Local.VariableEpochs {
 		lc.Epochs = 1 + rs.epochRNG.Intn(rs.cfg.LocalEpochs)

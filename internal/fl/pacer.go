@@ -40,9 +40,10 @@ type Pacer interface {
 
 // Pacers is the registry of pacing policies.
 var Pacers = map[string]Pacer{
-	"sync":   syncPacer{},
-	"tier":   tierPacer{},
-	"client": clientPacer{},
+	"sync":    syncPacer{},
+	"tier":    tierPacer{},
+	"client":  clientPacer{},
+	"fedbuff": bufferPacer{},
 }
 
 // ---------------------------------------------------------------------------
@@ -335,6 +336,124 @@ func (clientPacer) Run(rs *runState) error {
 				if _, err := rs.maybeRetier(rs.fab.Now()); err != nil {
 					fail(err)
 					return
+				}
+				startClient(id)
+			})
+		})
+	}
+	for id := 0; id < rs.fab.NumClients(); id++ {
+		startClient(id)
+	}
+	rs.fab.Run()
+	return runErr
+}
+
+// ---------------------------------------------------------------------------
+// fedbuff: buffered asynchrony (FedBuff) — clients train wait-free exactly
+// as under client pacing, but the server folds only once every K arrivals,
+// handing the update rule a real cohort. That turns a wait-free loop into
+// something robust statistics can work with (a median over one update is
+// that update; over K it is a defense), at the cost of each arrival waiting
+// up to K-1 peers before it reaches the global model.
+
+type bufferPacer struct{}
+
+func (bufferPacer) Run(rs *runState) error {
+	if _, ok := rs.sel.(FreeSelector); !ok {
+		return fmt.Errorf("fedbuff pacing performs no cohort selection, so selector %q would be ignored; use \"all\"", rs.method.Select)
+	}
+	cfg := rs.cfg
+	k := cfg.BufferK
+	if n := rs.fab.NumClients(); k > n {
+		// Never demand more distinct arrivals than the population can
+		// deliver concurrently.
+		k = n
+	}
+	done := false
+	var runErr error
+	fail := func(err error) {
+		runErr = err
+		done = true
+		rs.fab.Stop()
+	}
+
+	// The arrival buffer. Buffered weights are pooled transmit buffers the
+	// engine recycles only after the fold that consumes them; bufStart is
+	// the oldest buffered start round — the cohort's staleness anchor.
+	buf := make([]core.ClientUpdate, 0, k)
+	bufStart := 0
+
+	var startClient func(id int)
+	retryAt := func(id int, now float64) {
+		if rejoin := rs.fab.NextAvailable(id, now); rejoin > now && !math.IsInf(rejoin, 1) {
+			rs.fab.At(rejoin, func() { startClient(id) })
+		}
+	}
+	startClient = func(id int) {
+		if done {
+			return
+		}
+		now := rs.fab.Now()
+		if !rs.fab.Available(id, now) {
+			retryAt(id, now)
+			return
+		}
+		startRound := rs.rule.Rounds()
+		rs.fab.Dispatch(rs.comm, []int{id}, now, rs.rule.Global(), rs.localConfig(uint64(startRound)), func(results []TrainResult, err error) {
+			if done {
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			r := results[0]
+			if rs.lat != nil && !r.Dropped {
+				rs.lat.Observe(r.Client, r.Arrive-now)
+			}
+			if r.Dropped {
+				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive, Dropped: true})
+				if rejoin := rs.fab.NextAvailable(id, r.Arrive); !math.IsInf(rejoin, 1) {
+					rs.fab.At(rejoin, func() { startClient(id) })
+				}
+				return
+			}
+			rs.fab.At(r.Arrive, func() {
+				if done {
+					return
+				}
+				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive})
+				if len(buf) == 0 || startRound < bufStart {
+					bufStart = startRound
+				}
+				buf = append(buf, core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client})
+				if len(buf) >= k {
+					g, err := rs.rule.Fold(Fold{Tier: -1, Updates: buf, StartRound: bufStart})
+					if err != nil {
+						fail(err)
+						return
+					}
+					for _, u := range buf {
+						rs.comm.Release(u.Weights)
+					}
+					folded := len(buf)
+					buf = buf[:0]
+					t := rs.rule.Rounds()
+					g, err = rs.postFold(-1, t, rs.fab.Now(), folded, g)
+					if err != nil {
+						fail(err)
+						return
+					}
+					rs.maybeEval(t, rs.fab.Now(), g)
+					if t >= cfg.Rounds || (cfg.MaxSimTime > 0 && rs.fab.Now() >= cfg.MaxSimTime) {
+						done = true
+						rs.fab.Stop()
+						return
+					}
+					if _, err := rs.maybeRetier(rs.fab.Now()); err != nil {
+						fail(err)
+						return
+					}
 				}
 				startClient(id)
 			})

@@ -1,6 +1,11 @@
 package simnet
 
-import "repro/internal/rng"
+import (
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/robust"
+)
 
 // Time-varying client behavior. The static population NewCluster builds —
 // fixed per-client speeds, permanent DropAt departures — matches the paper's
@@ -45,11 +50,33 @@ type BehaviorConfig struct {
 	LateJoinFrac float64
 	// LateJoinHorizon bounds join times (default 500).
 	LateJoinHorizon float64
+
+	// AttackFrac of clients (rounded) behave maliciously according to
+	// AttackKind ("labelflip", "scale" or "freeride" — see internal/robust).
+	// The attacker set is drawn from its own population stream, so churn
+	// and late-join membership are untouched at any attack fraction.
+	// Either AttackFrac=0 or AttackKind=""/"none" disables the regime.
+	AttackFrac float64
+	AttackKind string
+	// AttackScale is the delta multiplier for the "scale" attack
+	// (robust.DefaultScale when 0).
+	AttackScale float64
+	// AttackTail makes the attacker population latency-correlated instead
+	// of uniform: attackers are the AttackFrac·n clients with the largest
+	// Part (slowest delay groups), ties broken by id. No randomness is
+	// drawn — the set is a pure function of the static population. This is
+	// the knob behind the tiering×attackers question: under FedAT the tail
+	// parts concentrate into the slow tiers.
+	AttackTail bool
 }
 
 // Enabled reports whether any dynamic regime is switched on.
 func (b BehaviorConfig) Enabled() bool {
-	return b.DriftMag > 0 || b.ChurnFrac > 0 || b.LateJoinFrac > 0
+	return b.DriftMag > 0 || b.ChurnFrac > 0 || b.LateJoinFrac > 0 || b.attackOn()
+}
+
+func (b BehaviorConfig) attackOn() bool {
+	return b.AttackFrac > 0 && b.AttackKind != "" && b.AttackKind != "none"
 }
 
 func (b BehaviorConfig) withDefaults() BehaviorConfig {
@@ -77,8 +104,13 @@ func (b BehaviorConfig) withDefaults() BehaviorConfig {
 // streams are split off each client's root, whose label 7 is the delay
 // stream. SplitLabeled children depend only on (seed, label), so behavior
 // streams cannot perturb the static population's randomness.
+// The attacker population draws from its own root label (4) rather than
+// sharing behaviorPopLabel, so the attacker set is a pure function of
+// (seed, n, AttackFrac) — turning attacks on or off cannot move churn or
+// late-join membership, and vice versa.
 const (
 	behaviorPopLabel    = 3
+	attackPopLabel      = 4
 	clientDriftLabel    = 8
 	clientChurnLabel    = 9
 	clientLateJoinLabel = 10
@@ -203,7 +235,7 @@ func (c *churnTrack) NextOnline(t float64) float64 {
 // applyBehavior decorates the built population with dynamic behavior. It
 // draws from streams labeled disjointly from everything NewCluster used, so
 // the static population (parts, speeds, delays, drop times) is unchanged.
-func applyBehavior(cl *Cluster, cfg ClusterConfig) {
+func applyBehavior(cl *Cluster, cfg ClusterConfig) error {
 	b := cfg.Behavior.withDefaults()
 	root := rng.New(cfg.Seed)
 	pop := root.SplitLabeled(behaviorPopLabel)
@@ -227,6 +259,53 @@ func applyBehavior(cl *Cluster, cfg ClusterConfig) {
 			cl.Clients[id].JoinAt = cr.SplitLabeled(clientLateJoinLabel).Uniform(0, b.LateJoinHorizon)
 		}
 	}
+	if b.attackOn() {
+		kind, err := robust.ParseKind(b.AttackKind)
+		if err != nil {
+			return err
+		}
+		var ids []int
+		if b.AttackTail {
+			ids = tailClients(cl.Clients, fracCount(b.AttackFrac, n))
+		} else {
+			ids = AttackTargets(cfg.Seed, n, b.AttackFrac)
+		}
+		for _, id := range ids {
+			cl.Clients[id].Attack = robust.Attack{Kind: kind, Scale: b.AttackScale}
+		}
+	}
+	return nil
+}
+
+// AttackTargets returns the uniform attacker set for a population of n
+// clients under the given seed — the exact ids applyBehavior marks. It is
+// exported so the live transport fabric can select the same deterministic
+// attacker population from (seed, clients, frac) without a Cluster.
+func AttackTargets(seed uint64, n int, frac float64) []int {
+	if frac <= 0 || n <= 0 {
+		return nil
+	}
+	return rng.New(seed).SplitLabeled(attackPopLabel).Choose(n, fracCount(frac, n))
+}
+
+// tailClients picks the k slowest clients — largest Part wins, ties to the
+// lower id — giving the deterministic latency-correlated attacker set.
+func tailClients(clients []*ClientRuntime, k int) []int {
+	ids := make([]int, len(clients))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		pa, pb := clients[ids[a]].Part, clients[ids[b]].Part
+		if pa != pb {
+			return pa > pb
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
 }
 
 // fracCount rounds frac·n to a count clamped to [0, n] — fractions above 1

@@ -3,6 +3,8 @@ package simnet
 import (
 	"math"
 	"testing"
+
+	"repro/internal/robust"
 )
 
 func behaviorCluster(t *testing.T, b BehaviorConfig) *Cluster {
@@ -197,5 +199,105 @@ func TestFracClamped(t *testing.T) {
 	if churned != len(cl.Clients) || late != len(cl.Clients) {
 		t.Fatalf("fractions above 1 covered %d/%d churned, %d/%d late; want all",
 			churned, len(cl.Clients), late, len(cl.Clients))
+	}
+}
+
+// TestAttackSelection: the attacker set is deterministic, sized by
+// fracCount, independent of the other regimes, and latency-correlated
+// under AttackTail.
+func TestAttackSelection(t *testing.T) {
+	b := BehaviorConfig{AttackKind: "scale", AttackFrac: 0.3, AttackScale: 5}
+	a := behaviorCluster(t, b)
+	c := behaviorCluster(t, b)
+	var attackers []int
+	for i := range a.Clients {
+		if a.Clients[i].Attack.Active() != c.Clients[i].Attack.Active() {
+			t.Fatalf("attacker set differs between same-seed clusters at %d", i)
+		}
+		if a.Clients[i].Attack.Active() {
+			attackers = append(attackers, i)
+			if a.Clients[i].Attack.Kind != robust.ScaleUpdate || a.Clients[i].Attack.Scale != 5 {
+				t.Fatalf("client %d attack = %+v", i, a.Clients[i].Attack)
+			}
+		}
+	}
+	if len(attackers) != 6 { // fracCount(0.3, 20)
+		t.Fatalf("%d attackers, want 6 (got %v)", len(attackers), attackers)
+	}
+	// AttackTargets mirrors the in-cluster selection for the live fabric.
+	want := AttackTargets(11, 20, 0.3)
+	if len(want) != len(attackers) {
+		t.Fatalf("AttackTargets = %v, cluster picked %v", want, attackers)
+	}
+	picked := map[int]bool{}
+	for _, id := range want {
+		picked[id] = true
+	}
+	for _, id := range attackers {
+		if !picked[id] {
+			t.Fatalf("cluster attacker %d not in AttackTargets %v", id, want)
+		}
+	}
+}
+
+// TestAttackIndependentOfChurn: switching attacks on must not move churn
+// membership (separate population labels), and AttackFrac=0 or kind "none"
+// leaves everyone honest.
+func TestAttackIndependentOfChurn(t *testing.T) {
+	churnOnly := behaviorCluster(t, BehaviorConfig{ChurnFrac: 0.25})
+	both := behaviorCluster(t, BehaviorConfig{ChurnFrac: 0.25, AttackKind: "labelflip", AttackFrac: 0.4})
+	for i := range churnOnly.Clients {
+		if (churnOnly.Clients[i].churn == nil) != (both.Clients[i].churn == nil) {
+			t.Fatalf("churn membership moved when attacks switched on (client %d)", i)
+		}
+	}
+	for _, b := range []BehaviorConfig{
+		{ChurnFrac: 0.25, AttackKind: "labelflip"},
+		{ChurnFrac: 0.25, AttackFrac: 0.4},
+		{ChurnFrac: 0.25, AttackKind: "none", AttackFrac: 0.4},
+	} {
+		cl := behaviorCluster(t, b)
+		for i := range cl.Clients {
+			if cl.Clients[i].Attack.Active() {
+				t.Fatalf("client %d attacks under %+v", i, b)
+			}
+		}
+	}
+}
+
+// TestAttackTailPicksSlowest: AttackTail marks exactly the highest-Part
+// clients, ties to lower ids, with no randomness.
+func TestAttackTailPicksSlowest(t *testing.T) {
+	cl := behaviorCluster(t, BehaviorConfig{AttackKind: "freeride", AttackFrac: 0.2, AttackTail: true})
+	minAttackerPart := math.MaxInt
+	maxHonestPart := -1
+	count := 0
+	for _, c := range cl.Clients {
+		if c.Attack.Active() {
+			count++
+			if c.Part < minAttackerPart {
+				minAttackerPart = c.Part
+			}
+		} else if c.Part > maxHonestPart {
+			maxHonestPart = c.Part
+		}
+	}
+	if count != 4 { // fracCount(0.2, 20)
+		t.Fatalf("%d tail attackers, want 4", count)
+	}
+	if minAttackerPart < maxHonestPart {
+		t.Fatalf("tail selection not latency-correlated: attacker part %d < honest part %d",
+			minAttackerPart, maxHonestPart)
+	}
+}
+
+// TestAttackUnknownKind: a bad kind surfaces as a NewCluster error.
+func TestAttackUnknownKind(t *testing.T) {
+	_, err := NewCluster(ClusterConfig{
+		NumClients: 5, Seed: 1,
+		Behavior: BehaviorConfig{AttackKind: "bogus", AttackFrac: 0.5},
+	})
+	if err == nil {
+		t.Fatal("unknown attack kind should fail cluster construction")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/rng"
+	"repro/internal/robust"
 )
 
 // ClientRuntime models one client's performance characteristics.
@@ -27,6 +28,11 @@ type ClientRuntime struct {
 	// JoinAt is when the client first comes online (0 = from the start;
 	// the late-join regime of BehaviorConfig).
 	JoinAt float64
+	// Attack is the client's malicious behavior (zero value = honest; the
+	// attack regime of BehaviorConfig). The federation layer reads it when
+	// building trainers — the simnet clock model itself never does:
+	// attackers are indistinguishable from honest clients in time.
+	Attack robust.Attack
 
 	delayRNG  *rng.RNG
 	delayRNG0 rng.RNG     // construction-time snapshot, restored by Reset
@@ -232,7 +238,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.Clients[id].DropAt = ur.Uniform(0, dropHorizon)
 	}
 	if cfg.Behavior.Enabled() {
-		applyBehavior(cl, cfg)
+		if err := applyBehavior(cl, cfg); err != nil {
+			return nil, err
+		}
 	}
 	return cl, nil
 }

@@ -7,9 +7,11 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
+	"repro/internal/edge"
 	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/robust"
 )
 
 // ClientConfig configures a federated training client. Local-training
@@ -35,6 +37,21 @@ type ClientConfig struct {
 	// Seed anchors the fixed pseudo-random mini-batch schedule (§6); it
 	// must match the server's Run.Seed for cross-fabric reproducibility.
 	Seed uint64
+	// Attack forces this client's malicious behavior regardless of server
+	// directives (fedclient -attack). When only Classes is set the client
+	// is honest but can execute a server-directed label flip — fedclient
+	// always fills Classes from its dataset.
+	Attack robust.Attack
+	// DPClip > 0 forces the local DP stage (clip norm DPClip, noise
+	// multiplier DPNoise), overriding whatever the server's push carries.
+	DPClip  float64
+	DPNoise float64
+	// UplinkTopKFrac > 0 compresses uploads as a top-k sparsified delta
+	// against the round's pushed global instead of Codec — the flat
+	// client→server leg of the PR 7 edge uplink compression. The server
+	// decodes it statelessly per round (the model message self-describes),
+	// so no server flag is needed.
+	UplinkTopKFrac float64
 	// DialTimeout bounds how long the initial connect retries before giving
 	// up — clients routinely start before the server's listener is up, so a
 	// refused connection is retried until the window closes. 0 means the
@@ -115,16 +132,42 @@ func RunClient(cfg ClientConfig) error {
 			if err != nil {
 				return fmt.Errorf("transport: client %d unmarshal: %w", cfg.ID, err)
 			}
-			w, steps := trainer.TrainLocal(global, fl.LocalConfig{
+			// A locally forced attack wins; otherwise follow the server's
+			// per-push directive (honest when the directive byte is 0).
+			atk := cfg.Attack
+			if !atk.Active() && spec.Attack != 0 {
+				atk = robust.Attack{
+					Kind:    robust.Kind(spec.Attack),
+					Scale:   spec.AttackScale,
+					Classes: cfg.Attack.Classes,
+				}
+			}
+			trainer.Attack = atk
+			lc := fl.LocalConfig{
 				Epochs:    spec.Epochs,
 				BatchSize: spec.Batch,
 				Lambda:    spec.Lambda,
 				Round:     spec.Round,
-			})
+				DPClip:    spec.DPClip,
+				DPNoise:   spec.DPNoise,
+			}
+			if cfg.DPClip > 0 {
+				lc.DPClip, lc.DPNoise = cfg.DPClip, cfg.DPNoise
+			}
+			w, steps := trainer.TrainLocal(global, lc)
 			if cfg.ArtificialDelay > 0 {
 				time.Sleep(cfg.ArtificialDelay)
 			}
-			up, err := codec.MarshalModel(cfg.Codec, shapes, w)
+			var up []byte
+			if cfg.UplinkTopKFrac > 0 {
+				// Stateless per-round delta against the decoded push: the
+				// server reconstructs against the decode of its own frame,
+				// so lossy downlink codecs cancel exactly and a dropped
+				// update desynchronizes nothing.
+				up, err = edge.EncodeUplink(&codec.TopK{Frac: cfg.UplinkTopKFrac}, shapes, global, w)
+			} else {
+				up, err = codec.MarshalModel(cfg.Codec, shapes, w)
+			}
 			if err != nil {
 				return err
 			}

@@ -83,14 +83,45 @@ func (f *liveFabric) Repartition(t *tiering.Tiers) {
 // byte accounting) are posted back to the clock goroutine. Clients whose
 // connection fails mid-round come back Dropped — the live analogue of the
 // simulator's unstable clients — and the round proceeds without them.
+//
+// With a server-side attack regime configured, the deterministic attacker
+// subset gets a second payload whose header carries the directive; honest
+// members see a directive-free push, so the byte stream they receive is
+// identical to an attack-free deployment.
 func (f *liveFabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global []float64, lc fl.LocalConfig, deliver func([]fl.TrainResult, error)) {
 	msg, err := codec.MarshalModel(f.s.codec, f.s.cfg.Shapes, global)
 	if err != nil {
 		deliver(nil, fmt.Errorf("transport: marshal model: %w", err))
 		return
 	}
-	payload := ModelPush(PushSpec{Round: lc.Round, Epochs: lc.Epochs, Batch: lc.BatchSize, Lambda: lc.Lambda}, msg)
+	spec := PushSpec{
+		Round: lc.Round, Epochs: lc.Epochs, Batch: lc.BatchSize, Lambda: lc.Lambda,
+		DPClip: lc.DPClip, DPNoise: lc.DPNoise,
+	}
+	payload := ModelPush(spec, msg)
+	var atkPayload []byte
+	if len(f.s.attackers) > 0 {
+		aspec := spec
+		aspec.Attack = uint8(f.s.cfg.Attack.Kind)
+		aspec.AttackScale = f.s.cfg.Attack.Scale
+		atkPayload = ModelPush(aspec, msg) // same length as payload: byte accounting unchanged
+	}
 	downBytes := int64(frameBytes(len(payload)))
+
+	// Top-k uplinks are deltas against the round's push. Reconstructing
+	// against the decode of the server's OWN marshaled frame (not `global`,
+	// which aliases rule state that may mutate before collection) makes a
+	// lossy downlink codec cancel exactly. Computed lazily: runs only if a
+	// client actually uplinks top-k this round.
+	var (
+		refOnce sync.Once
+		refVec  []float64
+		refErr  error
+	)
+	pushRef := func() ([]float64, error) {
+		refOnce.Do(func() { _, refVec, refErr = codec.UnmarshalModel(msg) })
+		return refVec, refErr
+	}
 
 	results := make([]fl.TrainResult, len(cohort))
 	upBytes := make([]int64, len(cohort))
@@ -102,7 +133,11 @@ func (f *liveFabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global [
 		if cc == nil {
 			continue
 		}
-		if err := cc.send(MsgModelPush, payload); err != nil {
+		p := payload
+		if atkPayload != nil && f.s.attackers[id] {
+			p = atkPayload
+		}
+		if err := cc.send(MsgModelPush, p); err != nil {
 			f.s.dropClient(cc, err)
 			results[i].Arrive = f.Now()
 			continue
@@ -111,7 +146,7 @@ func (f *liveFabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global [
 		wg.Add(1)
 		go func(i int, id int, cc *clientConn) {
 			defer wg.Done()
-			r, up, err := f.collect(cc, lc.Round)
+			r, up, err := f.collect(cc, lc.Round, pushRef)
 			if err != nil {
 				f.s.dropClient(cc, err)
 				results[i] = fl.TrainResult{Client: id, Dropped: true, Arrive: f.Now()}
@@ -142,8 +177,9 @@ func (f *liveFabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global [
 // collect reads one client's trained response for the given round. The
 // round timeout bounds the read so a silent peer cannot stall its round
 // (and the shutdown drain) forever; hitting it drops the client like any
-// other connection failure.
-func (f *liveFabric) collect(cc *clientConn, round uint64) (fl.TrainResult, int64, error) {
+// other connection failure. pushRef resolves the round's pushed reference
+// model, needed to reconstruct a top-k delta uplink.
+func (f *liveFabric) collect(cc *clientConn, round uint64, pushRef func() ([]float64, error)) (fl.TrainResult, int64, error) {
 	if t := f.s.cfg.RoundTimeout; t > 0 {
 		if err := cc.conn.SetReadDeadline(time.Now().Add(t)); err != nil {
 			return fl.TrainResult{}, 0, err
@@ -169,6 +205,18 @@ func (f *liveFabric) collect(cc *clientConn, round uint64) (fl.TrainResult, int6
 	_, w, err := codec.UnmarshalModel(model)
 	if err != nil {
 		return fl.TrainResult{}, 0, err
+	}
+	if codec.IsTopKMessage(model) {
+		ref, err := pushRef()
+		if err != nil {
+			return fl.TrainResult{}, 0, err
+		}
+		if len(w) != len(ref) {
+			return fl.TrainResult{}, 0, fmt.Errorf("transport: client %d top-k uplink carries %d weights, want %d", cc.reg.ClientID, len(w), len(ref))
+		}
+		for i := range w {
+			w[i] += ref[i]
+		}
 	}
 	return fl.TrainResult{
 		Weights: w,

@@ -109,37 +109,60 @@ func ParseRegister(p []byte) (Register, error) {
 
 // PushSpec is the per-round local-training instruction carried by a model
 // push: which fixed mini-batch schedule to use (Round) and how to train
-// (Epochs, Batch, Lambda — mirroring fl.LocalConfig).
+// (Epochs, Batch, Lambda, and the DP stage — mirroring fl.LocalConfig),
+// plus an optional attack directive (Attack, AttackScale) for simulated-
+// adversary deployments: the server marks the deterministic attacker
+// subset of the cohort and ships them a directive header; honest members
+// get Attack 0. A fedclient may also force an attack locally, which
+// overrides the directive.
 type PushSpec struct {
 	Round  uint64
 	Epochs int
 	Batch  int
 	Lambda float64
+	// Attack is the wire value of a robust.Kind (0 = honest).
+	Attack      uint8
+	AttackScale float64
+	DPClip      float64
+	DPNoise     float64
 }
+
+// pushHeaderLen is the fixed ModelPush header: round u64, epochs u32,
+// batch u32, lambda f64, attack u8, attackScale f64, dpClip f64,
+// dpNoise f64.
+const pushHeaderLen = 8 + 4 + 4 + 8 + 1 + 8 + 8 + 8
 
 // ModelPush frames a global model plus its local-training instruction.
 func ModelPush(spec PushSpec, model []byte) []byte {
-	out := make([]byte, 24+len(model))
+	out := make([]byte, pushHeaderLen+len(model))
 	binary.LittleEndian.PutUint64(out[0:], spec.Round)
 	binary.LittleEndian.PutUint32(out[8:], uint32(spec.Epochs))
 	binary.LittleEndian.PutUint32(out[12:], uint32(spec.Batch))
 	binary.LittleEndian.PutUint64(out[16:], math.Float64bits(spec.Lambda))
-	copy(out[24:], model)
+	out[24] = spec.Attack
+	binary.LittleEndian.PutUint64(out[25:], math.Float64bits(spec.AttackScale))
+	binary.LittleEndian.PutUint64(out[33:], math.Float64bits(spec.DPClip))
+	binary.LittleEndian.PutUint64(out[41:], math.Float64bits(spec.DPNoise))
+	copy(out[pushHeaderLen:], model)
 	return out
 }
 
 // ParseModelPush splits a push payload.
 func ParseModelPush(p []byte) (spec PushSpec, model []byte, err error) {
-	if len(p) < 24 {
+	if len(p) < pushHeaderLen {
 		return PushSpec{}, nil, fmt.Errorf("transport: model push payload too short")
 	}
 	spec = PushSpec{
-		Round:  binary.LittleEndian.Uint64(p[0:]),
-		Epochs: int(binary.LittleEndian.Uint32(p[8:])),
-		Batch:  int(binary.LittleEndian.Uint32(p[12:])),
-		Lambda: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+		Round:       binary.LittleEndian.Uint64(p[0:]),
+		Epochs:      int(binary.LittleEndian.Uint32(p[8:])),
+		Batch:       int(binary.LittleEndian.Uint32(p[12:])),
+		Lambda:      math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+		Attack:      p[24],
+		AttackScale: math.Float64frombits(binary.LittleEndian.Uint64(p[25:])),
+		DPClip:      math.Float64frombits(binary.LittleEndian.Uint64(p[33:])),
+		DPNoise:     math.Float64frombits(binary.LittleEndian.Uint64(p[41:])),
 	}
-	return spec, p[24:], nil
+	return spec, p[pushHeaderLen:], nil
 }
 
 // ModelUpdate frames a client's trained model.

@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/robust"
+	"repro/internal/simnet"
+)
+
+// runLiveRobust deploys a method over loopback TCP with the adversarial
+// knobs exposed: a server-side attack regime and per-client config hooks
+// (forced attacks, DP overrides, top-k uplink). All clients are honest
+// unless the server directs or clientCfg forces otherwise.
+func (lf *liveFederation) runLiveRobust(t *testing.T, method fl.Method, cfg fl.RunConfig, attack robust.Attack, attackFrac float64, clientCfg func(id int, cc *ClientConfig)) (*metrics.Run, []float64) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: lf.n,
+		Method:     method,
+		Run:        cfg,
+		Shapes:     lf.shapes,
+		W0:         lf.factory(cfg.Seed).WeightsCopy(),
+		Dataset:    lf.fed.Name,
+		Attack:     attack,
+		AttackFrac: attackFrac,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	clientErrs := make([]error, lf.n)
+	for i := 0; i < lf.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := ClientConfig{
+				Addr: srv.Addr(), ID: uint32(i), LatencyHintMs: 10,
+				Data: lf.fed.Clients[i], Net: lf.factory(cfg.Seed),
+				Opt: opt.NewAdam(cfg.LearningRate), Codec: cfg.Codec, Seed: cfg.Seed,
+				// Honest clients still need the class count to execute a
+				// server-directed label flip (fedclient always fills this).
+				Attack: robust.Attack{Classes: lf.fed.Classes},
+			}
+			if clientCfg != nil {
+				clientCfg(i, &cc)
+			}
+			clientErrs[i] = RunClient(cc)
+		}(i)
+	}
+
+	type outcome struct {
+		run   *metrics.Run
+		final []float64
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		run, final, err := srv.Run()
+		done <- outcome{run, final, err}
+	}()
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not finish in time")
+	}
+	wg.Wait()
+	if out.err != nil {
+		t.Fatalf("server error: %v", out.err)
+	}
+	for i, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d error: %v", i, err)
+		}
+	}
+	return out.run, out.final
+}
+
+// TestLiveAttackAndDPMatchSimulated is the adversarial cross-fabric
+// contract: a sync-paced run with a server-directed label-flip regime AND a
+// DP clip+noise stage produces bit-identical final weights over real TCP
+// and in the simulator. The attacker subset, the flipped batches, and the
+// per-round noise draws must all resolve identically on both fabrics.
+func TestLiveAttackAndDPMatchSimulated(t *testing.T) {
+	const n = 6
+	seed := uint64(13)
+	lf := newLiveFederation(t, n, 0, seed)
+	cfg := liveCfg(seed)
+	cfg.Rounds = 3
+	cfg.Codec = codec.NewPolyline(4)
+	cfg.DPClip = 1.5
+	cfg.DPNoise = 0.3
+
+	// Simulated run: same federation, same attack regime on the same subset.
+	cluster, err := simnet.NewCluster(simnet.ClusterConfig{
+		NumClients: n,
+		Behavior:   simnet.BehaviorConfig{AttackKind: "labelflip", AttackFrac: 0.5},
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := fl.NewEnv(lf.fed, cluster, lf.factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simFinal []float64
+	if _, err := fl.Methods["fedavg"].Run(env, captureFinal(&simFinal)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live run: the server marks the attacker subset per push.
+	_, liveFinal := lf.runLiveRobust(t, fl.Methods["fedavg"], cfg,
+		robust.Attack{Kind: robust.LabelFlip}, 0.5, nil)
+
+	if len(simFinal) == 0 || len(simFinal) != len(liveFinal) {
+		t.Fatalf("weight vectors missing or mismatched: sim=%d live=%d", len(simFinal), len(liveFinal))
+	}
+	for i := range simFinal {
+		if simFinal[i] != liveFinal[i] {
+			t.Fatalf("weight %d diverged between fabrics under attack+DP: sim=%v live=%v", i, simFinal[i], liveFinal[i])
+		}
+	}
+}
+
+// TestLiveRobustFoldOverLoopback deploys a composed robust-fold method —
+// plain FedAvg pacing with a coordinate-median fold — against a
+// server-directed scaled-update adversary. The run must complete and learn
+// something (the model moves) despite a third of the population shipping
+// 10x-amplified deltas.
+func TestLiveRobustFoldOverLoopback(t *testing.T) {
+	m, err := fl.Compose("fedavg", "", "", "median", "fedavg+median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := newLiveFederation(t, 6, 0, 23)
+	cfg := liveCfg(17)
+	cfg.Rounds = 3
+	cfg.ClientsPerRound = 4
+	run, final := lf.runLiveRobust(t, m, cfg, robust.Attack{Kind: robust.ScaleUpdate}, 0.34, nil)
+	if run.GlobalRounds < cfg.Rounds {
+		t.Fatalf("only %d global rounds completed", run.GlobalRounds)
+	}
+	if !moved(lf.factory(cfg.Seed).WeightsCopy(), final) {
+		t.Fatal("global model never moved")
+	}
+}
+
+// TestLiveTopKUplink puts the PR 7 top-k codec on the flat client→server
+// leg: every client uplinks a sparsified delta against the round's push,
+// the server reconstructs statelessly, and the upload stream shrinks
+// relative to the dense codec while training still completes.
+func TestLiveTopKUplink(t *testing.T) {
+	lf := newLiveFederation(t, 4, 0, 43)
+	cfg := liveCfg(9)
+	cfg.Rounds = 3
+	cfg.ClientsPerRound = 4
+
+	dense, denseFinal := lf.runLiveRobust(t, fl.Methods["fedavg"], cfg, robust.Attack{}, 0, nil)
+	sparse, sparseFinal := lf.runLiveRobust(t, fl.Methods["fedavg"], cfg, robust.Attack{}, 0,
+		func(id int, cc *ClientConfig) { cc.UplinkTopKFrac = 0.1 })
+
+	if sparse.GlobalRounds < cfg.Rounds {
+		t.Fatalf("only %d global rounds completed with top-k uplink", sparse.GlobalRounds)
+	}
+	if !moved(lf.factory(cfg.Seed).WeightsCopy(), sparseFinal) {
+		t.Fatal("global model never moved under top-k uplink")
+	}
+	if sparse.UpBytes >= dense.UpBytes {
+		t.Fatalf("top-k uplink did not shrink uploads: %d >= %d bytes", sparse.UpBytes, dense.UpBytes)
+	}
+	// Lossy compression must actually change the trajectory (it is not a
+	// no-op path).
+	if !moved(denseFinal, sparseFinal) {
+		t.Fatal("top-k uplink produced a bit-identical run — suspicious pass-through")
+	}
+}
+
+// TestLocalAttackOverridesDirective: a fedclient-forced attack wins over
+// the server's honest (directive-free) push — the run differs from an
+// all-honest deployment with the same seed.
+func TestLocalAttackOverridesDirective(t *testing.T) {
+	lf := newLiveFederation(t, 4, 0, 53)
+	cfg := liveCfg(11)
+	cfg.Rounds = 2
+	cfg.ClientsPerRound = 4
+
+	_, honest := lf.runLiveRobust(t, fl.Methods["fedavg"], cfg, robust.Attack{}, 0, nil)
+	_, forced := lf.runLiveRobust(t, fl.Methods["fedavg"], cfg, robust.Attack{}, 0,
+		func(id int, cc *ClientConfig) {
+			if id == 0 {
+				cc.Attack = robust.Attack{Kind: robust.ScaleUpdate, Scale: 5, Classes: lf.fed.Classes}
+			}
+		})
+	if !moved(honest, forced) {
+		t.Fatal("locally forced attack left the run unchanged")
+	}
+}

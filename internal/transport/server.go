@@ -10,6 +10,8 @@ import (
 	"repro/internal/codec"
 	"repro/internal/fl"
 	"repro/internal/metrics"
+	"repro/internal/robust"
+	"repro/internal/simnet"
 )
 
 // ServerConfig configures a federated aggregation server. The server is a
@@ -48,6 +50,15 @@ type ServerConfig struct {
 	// uplink here — an fl.Syncer rides the observer list, so the engine
 	// pushes to (and rebases from) the root after its own folds.
 	Observers []fl.Observer
+	// Attack, with AttackFrac > 0, directs a deterministic subset of the
+	// population to run the given attack during local training — the live
+	// fabric's version of the simulator's adversarial behavior regime.
+	// Membership is simnet.AttackTargets over Run.Seed, so a simulation and
+	// a deployment sharing a seed poison the same client ids. Honest cohort
+	// members receive a directive-free push. A fedclient may also force an
+	// attack locally with -attack, which overrides the directive.
+	Attack     robust.Attack
+	AttackFrac float64
 	// RoundTimeout bounds how long the server waits for one client's
 	// response to a model push before dropping it — without it a silent
 	// peer (half-open connection, stopped process) would stall its round
@@ -69,6 +80,10 @@ type Server struct {
 	clients map[uint32]*clientConn
 	fab     *liveFabric
 	regs    []Register // by client id; survives disconnects
+
+	// attackers is the deterministic adversary subset (nil when the attack
+	// regime is off); fixed at construction, read-only afterwards.
+	attackers map[int]bool
 
 	// extraObs subscribe to the engine's run event stream alongside the
 	// built-in recorder (tests, dashboards). Set before calling Run.
@@ -119,16 +134,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	var attackers map[int]bool
+	if cfg.Attack.Active() && cfg.AttackFrac > 0 {
+		attackers = make(map[int]bool)
+		for _, id := range simnet.AttackTargets(cfg.Run.Seed, cfg.NumClients, cfg.AttackFrac) {
+			attackers[id] = true
+		}
+		cfg.Logf("fed server: attack regime %s on %d/%d clients", cfg.Attack.Kind, len(attackers), cfg.NumClients)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	return &Server{
-		cfg:     cfg,
-		codec:   cfg.Run.Codec,
-		ln:      ln,
-		clients: map[uint32]*clientConn{},
-		regs:    make([]Register, cfg.NumClients),
+		cfg:       cfg,
+		codec:     cfg.Run.Codec,
+		ln:        ln,
+		clients:   map[uint32]*clientConn{},
+		regs:      make([]Register, cfg.NumClients),
+		attackers: attackers,
 	}, nil
 }
 
