@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -203,6 +204,62 @@ func TestMethodRunAllocBudget(t *testing.T) {
 			if got := testing.AllocsPerRun(3, run); got > bud.maxAllocs {
 				t.Errorf("%s makes %.0f allocs per run, budget %.0f", bud.method, got, bud.maxAllocs)
 			}
+		})
+	}
+}
+
+// BenchmarkPopulation measures constructing the LAZY environment — dataset
+// source, population, pooled-worker env — at three population sizes up to
+// one million clients. The custom bytes/client metric is the per-client
+// footprint of what construction actually retains (prototype tables, size
+// and part arrays, drop times); laziness holding means it stays a few
+// dozen bytes flat while n grows 1000x, where the eager construction costs
+// ~10KB per client before the first round starts. CI records the standard
+// bytes-per-op column into BENCH_trajectory.json, so an accidental O(n)
+// materialization shows up as a step in the 1M rung's trajectory.
+func BenchmarkPopulation(b *testing.B) {
+	for _, n := range []int{1_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			dcfg := dataset.Config{
+				Name: "benchlike", NumClients: n, Classes: 10, SamplesPerClient: 24,
+				ClassesPerClient: 2, Seed: 7, ImgC: 1, ImgH: 10, ImgW: 10,
+				Signal: 0.34, Noise: 1.0,
+			}
+			ccfg := simnet.ClusterConfig{
+				NumClients: n, NumUnstable: n / 10, DropHorizon: 20000,
+				SecPerBatch: 1.0, UpBW: 1 << 20, DownBW: 1 << 20, ServerBW: 16 << 20,
+				Seed: 7,
+			}
+			rcfg := fl.RunConfig{
+				Rounds: 8, ClientsPerRound: 10, LocalEpochs: 1, BatchSize: 10,
+				LearningRate: 0.01, NumTiers: 5, Seed: 7,
+			}
+			b.ReportAllocs()
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := dataset.NewSource(dcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pop, err := simnet.NewPopulation(ccfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				factory := func(s uint64) *nn.Network {
+					return nn.NewMLP(rng.New(s), src.InDim(), 32, src.Classes())
+				}
+				if _, err := fl.NewLazyEnv(src, pop, factory, rcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			perClient := float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N) / float64(n)
+			b.ReportMetric(perClient, "bytes/client")
 		})
 	}
 }

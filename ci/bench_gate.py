@@ -6,7 +6,12 @@ Two subcommands, shared by CI and local use:
   parse <bench.out> <out.json>
       Convert `go test -bench BenchmarkMethod/` output into the BENCH JSON
       schema ({"suite": ..., "results": [{method, iterations, ns_per_op,
-      bytes_per_op, allocs_per_op}]}).
+      bytes_per_op, allocs_per_op}]}). BenchmarkPopulation/<n> rows (the
+      lazy-environment construction ladder) are parsed too, recorded as
+      "population/<n>" with their custom bytes/client metric carried in
+      bytes_per_client — so BENCH_trajectory.json tracks the per-client
+      footprint of the million-client substrate alongside the method
+      suite.
 
   append <current.json> <baseline.json> <trajectory.json> [label]
       Append the current suite as one entry to the committed trajectory
@@ -43,7 +48,7 @@ Two subcommands, shared by CI and local use:
 
 Regenerate the committed baseline after a deliberate perf change:
 
-  go test -run '^$' -bench 'BenchmarkMethod/' -benchtime 5x -count 1 . > bench.out
+  go test -run '^$' -bench 'BenchmarkMethod/|BenchmarkPopulation/' -benchtime 5x -count 1 . > bench.out
   python3 ci/bench_gate.py parse bench.out BENCH_baseline.json
 """
 import json
@@ -51,7 +56,8 @@ import re
 import sys
 
 LINE = re.compile(
-    r"BenchmarkMethod/(\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op"
+    r"Benchmark(Method|Population)/(\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op"
+    r"(?:\s+(\d+(?:\.\d+)?) bytes/client)?"
     r"\s+(\d+) B/op\s+(\d+) allocs/op"
 )
 
@@ -62,13 +68,19 @@ def parse(bench_out, out_json):
         for line in f:
             m = LINE.match(line)
             if m:
-                rows.append({
-                    "method": m.group(1),
-                    "iterations": int(m.group(2)),
-                    "ns_per_op": float(m.group(3)),
-                    "bytes_per_op": int(m.group(4)),
-                    "allocs_per_op": int(m.group(5)),
-                })
+                suite, name = m.group(1), m.group(2)
+                row = {
+                    # Population rungs are namespaced so they can never
+                    # collide with a registry method name.
+                    "method": name if suite == "Method" else "population/" + name,
+                    "iterations": int(m.group(3)),
+                    "ns_per_op": float(m.group(4)),
+                    "bytes_per_op": int(m.group(6)),
+                    "allocs_per_op": int(m.group(7)),
+                }
+                if m.group(5) is not None:
+                    row["bytes_per_client"] = float(m.group(5))
+                rows.append(row)
     if not rows:
         sys.exit("bench_gate: no benchmark lines parsed from %s" % bench_out)
     with open(out_json, "w") as f:
@@ -105,8 +117,9 @@ def delta_table(cur, base, threshold=None):
         ratios[method] = c / b if b else float("inf")
     host = host_factor(ratios)
     print("host speed factor vs baseline: %.2fx" % host)
-    print("%-16s %14s %14s %7s %11s %13s" % (
-        "method", "baseline ns/op", "current ns/op", "raw", "normalized", "allocs (b->c)"))
+    print("%-16s %14s %14s %7s %11s %13s %17s" % (
+        "method", "baseline ns/op", "current ns/op", "raw", "normalized",
+        "allocs (b->c)", "bytes/op (b->c)"))
     for method in common:
         b, c = base[method]["ns_per_op"], cur[method]["ns_per_op"]
         norm = ratios[method] / host
@@ -126,8 +139,14 @@ def delta_table(cur, base, threshold=None):
             failures.append("%s allocs/op grew %d -> %d (pooled hot path leaking?)"
                             % (method, b_allocs, c_allocs))
         allocs = "%d->%d" % (b_allocs, c_allocs)
-        print("%-16s %14.0f %14.0f %6.2fx %9.2fx %13s%s"
-              % (method, b, c, ratios[method], norm, allocs, flag))
+        # Heap traffic is machine-independent like allocs; it is printed
+        # (and recorded in the trajectory) but not gated — the alloc-count
+        # gate plus TestMethodRunAllocBudget's explicit byte ceilings
+        # already cover the pooled hot path.
+        nbytes = "%d->%d" % (base[method].get("bytes_per_op", 0),
+                             cur[method].get("bytes_per_op", 0))
+        print("%-16s %14.0f %14.0f %6.2fx %9.2fx %13s %17s%s"
+              % (method, b, c, ratios[method], norm, allocs, nbytes, flag))
     for method in sorted(set(cur) - set(base)):
         print("%-16s %14s %14.0f   (new; not gated — add to the baseline)"
               % (method, "-", cur[method]["ns_per_op"]))

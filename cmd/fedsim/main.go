@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,11 +43,16 @@ import (
 func main() {
 	var (
 		expID   = flag.String("exp", "", "experiment id (table1, table2, fig2..fig10, ablation-*, or 'all')")
-		preset  = flag.String("preset", "small", "scale preset: tiny, small, medium, paper")
+		preset  = flag.String("preset", "small", "scale preset: tiny, small, medium, paper, huge (huge = the 1M-client lazy ladder; only -exp scale is designed for it)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		format  = flag.String("format", "text", "output format: text, json, or csv")
 		outDir  = flag.String("out", "", "directory to write output files into (required for csv; optional for text/json, which default to stdout)")
 		workers = flag.Int("workers", 0, "global cap on concurrently executing simulations (0 = GOMAXPROCS); with -exp all, also caps concurrent experiments")
+
+		// Profiling and scale knobs.
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (after a final GC)")
+		simWorkers = flag.Int("sim-workers", 0, "with -compose -topology edge:K, drive the merged virtual timeline on this many workers (edge-local events overlap; results are bit-identical at any value; <=1 = serial)")
 
 		// Composition mode: run one method assembled from policies.
 		compose = flag.String("compose", "", "run a single method composition: a registry method name used as the base spec (see -select/-pacer/-agg)")
@@ -84,7 +92,7 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("  %-8s %s\n", id, experiments.Registry[id].Title)
 		}
-		fmt.Println("presets: tiny, small, medium, paper")
+		fmt.Println("presets: tiny, small, medium, paper, huge")
 		fmt.Println("formats: text, json, csv")
 		fmt.Println("method composition (-compose <base> [-select ...] [-pacer ...] [-agg ...]):")
 		for _, mn := range fl.MethodNames() {
@@ -103,8 +111,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fedsim:", err)
 		os.Exit(2)
 	}
+	if *simWorkers > 1 && topo.Edges == 0 {
+		fmt.Fprintln(os.Stderr, "fedsim: -sim-workers requires -compose with -topology edge:K (only a merged multi-edge timeline has events to overlap)")
+		os.Exit(2)
+	}
+	topo.Workers = *simWorkers
+
+	// The huge preset simulates a million clients lazily; an unbounded heap
+	// lets the GC defer collection of per-round shard garbage far past the
+	// lazy design's steady state. Respect an explicit GOMEMLIMIT, and
+	// default to a soft 512MiB limit when the operator set none.
+	if *preset == "huge" && os.Getenv("GOMEMLIMIT") == "" {
+		debug.SetMemoryLimit(512 << 20)
+	}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
+
 	if *compose != "" {
-		os.Exit(runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace, dyn, topo))
+		code := runComposition(*compose, *selName, *pacer, *agg, *name, *preset, *trace, dyn, topo)
+		stopProfiles()
+		os.Exit(code)
 	}
 	for _, f := range []struct{ name, val string }{{"-select", *selName}, {"-pacer", *pacer}, {"-agg", *agg}} {
 		if f.val != "" {
@@ -330,6 +361,49 @@ func runComposition(base, sel, pacer, agg, name, preset string, trace bool, dyn 
 	}
 	fmt.Fprintf(os.Stderr, "(completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return 0
+}
+
+// startProfiles switches on the requested pprof collectors and returns a
+// flush function, safe to call more than once. The CPU profile streams
+// until the flush; the heap profile is a single snapshot taken at flush
+// time after a forced GC, so it reflects live retention rather than
+// collectible garbage.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim:", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // writeTextFile renders one report into <out>/<id>.txt.

@@ -123,8 +123,23 @@ type sampleGen interface {
 	sample(r *rng.RNG, class int, row []float64) int
 }
 
-// Generate builds a federated dataset from cfg.
+// Generate builds a federated dataset from cfg. It is a thin shell over
+// the lazy Source — "generate every shard" — so the eager and lazy
+// construction paths cannot drift apart. generateEager below keeps the
+// original direct construction as the reference the equivalence test pins
+// Source against.
 func Generate(cfg Config) (*Federated, error) {
+	src, err := NewSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return src.Federated(), nil
+}
+
+// generateEager is the pre-lazy construction, byte-for-byte: every draw in
+// its original order. It exists as the specification the lazy Source is
+// tested against (TestSourceMatchesEagerGenerate).
+func generateEager(cfg Config) (*Federated, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package dataset
+
+import "testing"
+
+// sourceConfigs spans the generator modes: image prototypes, token walks,
+// power-law sizes, non-IID class subsets.
+func sourceConfigs() map[string]Config {
+	return map[string]Config{
+		"image": {
+			Name: "imglike", NumClients: 20, Classes: 10, SamplesPerClient: 24,
+			ClassesPerClient: 2, Seed: 9, ImgC: 1, ImgH: 6, ImgW: 6,
+			Signal: 0.3, Noise: 1.0,
+		},
+		"image-powerlaw": {
+			Name: "femnistlike", NumClients: 15, Classes: 12, SamplesPerClient: 30,
+			ClassesPerClient: 4, PowerLaw: true, Seed: 31, ImgC: 1, ImgH: 5, ImgW: 5,
+		},
+		"token": {
+			Name: "redditlike", NumClients: 12, Classes: 16, SamplesPerClient: 20,
+			ClassesPerClient: 3, PowerLaw: true, Seed: 4, Vocab: 16, SeqLen: 8,
+		},
+	}
+}
+
+func sameClient(t *testing.T, name string, i int, want, got *ClientData) {
+	t.Helper()
+	if want.NumTrain() != got.NumTrain() || want.NumTest() != got.NumTest() {
+		t.Fatalf("%s client %d: split %d/%d vs %d/%d",
+			name, i, want.NumTrain(), want.NumTest(), got.NumTrain(), got.NumTest())
+	}
+	for r := 0; r < want.NumTrain(); r++ {
+		if want.TrainY[r] != got.TrainY[r] {
+			t.Fatalf("%s client %d train row %d: label %d vs %d", name, i, r, want.TrainY[r], got.TrainY[r])
+		}
+		wr, gr := want.TrainX.Row(r), got.TrainX.Row(r)
+		for c := range wr {
+			if wr[c] != gr[c] {
+				t.Fatalf("%s client %d train row %d col %d: %v vs %v", name, i, r, c, wr[c], gr[c])
+			}
+		}
+	}
+	for r := 0; r < want.NumTest(); r++ {
+		if want.TestY[r] != got.TestY[r] {
+			t.Fatalf("%s client %d test row %d: label mismatch", name, i, r)
+		}
+		wr, gr := want.TestX.Row(r), got.TestX.Row(r)
+		for c := range wr {
+			if wr[c] != gr[c] {
+				t.Fatalf("%s client %d test row %d col %d: %v vs %v", name, i, r, c, wr[c], gr[c])
+			}
+		}
+	}
+}
+
+// TestSourceMatchesEagerGenerate pins the lazy contract: a shard
+// synthesized on demand — in any order — is byte-for-byte the shard the
+// original eager Generate built, and the pure NumTrain arithmetic matches
+// the generated split.
+func TestSourceMatchesEagerGenerate(t *testing.T) {
+	for name, cfg := range sourceConfigs() {
+		t.Run(name, func(t *testing.T) {
+			want, err := generateEager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := NewSource(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src.InDim() != want.InDim || src.Classes() != want.Classes {
+				t.Fatalf("geometry: (%d,%d) vs (%d,%d)", src.InDim(), src.Classes(), want.InDim, want.Classes)
+			}
+			// Scrambled generation order: shards are pure in (cfg, id).
+			n := cfg.NumClients
+			for j := 0; j < n; j++ {
+				i := (j*7 + 3) % n
+				if got := src.NumTrain(i); got != want.Clients[i].NumTrain() {
+					t.Fatalf("client %d: NumTrain %d vs generated %d", i, got, want.Clients[i].NumTrain())
+				}
+				sameClient(t, name, i, want.Clients[i], src.Client(i))
+			}
+			// Regeneration is idempotent: a dropped-and-rebuilt shard is
+			// identical to its first synthesis.
+			sameClient(t, name, 0, src.Client(0), src.Client(0))
+		})
+	}
+}
+
+// TestGenerateDelegatesToSource guards the shell: the public Generate and
+// the eager reference construct identical federations.
+func TestGenerateDelegatesToSource(t *testing.T) {
+	for name, cfg := range sourceConfigs() {
+		t.Run(name, func(t *testing.T) {
+			want, err := generateEager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Clients) != len(got.Clients) {
+				t.Fatalf("client count %d vs %d", len(want.Clients), len(got.Clients))
+			}
+			for i := range want.Clients {
+				sameClient(t, name, i, want.Clients[i], got.Clients[i])
+			}
+		})
+	}
+}

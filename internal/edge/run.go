@@ -38,6 +38,12 @@ type Options struct {
 	// which is what makes a 1-edge hierarchy replay the flat run exactly.
 	// Default 1_000_003.
 	SeedStride uint64
+	// Workers sets how many edge-local events the merged timeline may
+	// execute concurrently (simnet.MultiClock.DriveWorkers). <=1 keeps the
+	// fully serial driver. Any value produces bit-identical results — fold
+	// sites serialize at quiescent points — so Workers trades nothing but
+	// CPU for wall clock.
+	Workers int
 }
 
 // Result is a hierarchical run's record: the cloud-level run (edge folds,
@@ -58,9 +64,11 @@ type Result struct {
 // model it later adopts.
 //
 // Engine start is serialized (edge e's event scheduling completes before
-// edge e+1 starts) and all callbacks interleave on the driver goroutine in
-// global (time, seq) order, so same seed → bit-identical runs regardless
-// of goroutine scheduling.
+// edge e+1 starts) and all callbacks interleave in global (time, seq)
+// order, so same seed → bit-identical runs regardless of goroutine
+// scheduling. With opts.Workers > 1 edge-local events of distinct edges
+// overlap on worker goroutines while fold sites still execute alone at
+// quiescent points — same ordering guarantees, shorter wall clock.
 func Run(m fl.Method, cfg fl.RunConfig, children []Child, opts Options) (*Result, error) {
 	k := len(children)
 	if k == 0 {
@@ -120,7 +128,7 @@ func Run(m fl.Method, cfg fl.RunConfig, children []Child, opts Options) (*Result
 		}(e, syncer)
 		mc.WaitArrive(e)
 	}
-	mc.Drive()
+	mc.DriveWorkers(opts.Workers)
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err

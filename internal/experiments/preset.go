@@ -102,19 +102,39 @@ var Paper = Preset{
 	Seed:         42,
 }
 
+// Huge exists for the scale experiment: its client count is the base of
+// the 8x population ladder {c, 8c, 64c}, so 15625 tops the ladder at
+// exactly one million simulated clients. Only the lazy-environment
+// experiments are meant to run at this preset — an eager experiment at a
+// million clients would materialize the population it is the whole point
+// not to. Round budgets are bounded accordingly.
+var Huge = Preset{
+	Name:         "huge",
+	Clients:      15625,
+	LargeClients: 15625,
+	Rounds:       8,
+	LargeRounds:  8,
+	EvalEvery:    2,
+	SmoothWindow: 2,
+	DataScale:    dataset.ScaleSmall,
+	UseCNN:       false,
+	Seed:         42,
+}
+
 // Presets indexes the scale presets by name.
 var Presets = map[string]Preset{
 	"tiny":   Tiny,
 	"small":  Small,
 	"medium": Medium,
 	"paper":  Paper,
+	"huge":   Huge,
 }
 
 // PresetByName resolves a preset.
 func PresetByName(name string) (Preset, error) {
 	p, ok := Presets[name]
 	if !ok {
-		return Preset{}, fmt.Errorf("experiments: unknown preset %q (have tiny, small, medium, paper)", name)
+		return Preset{}, fmt.Errorf("experiments: unknown preset %q (have tiny, small, medium, paper, huge)", name)
 	}
 	return p, nil
 }

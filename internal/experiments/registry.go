@@ -37,6 +37,7 @@ var Registry = map[string]Experiment{
 	"ablation-lambda":    {"ablation-lambda", "Proximal λ sweep", AblationLambda},
 	"ablation-oversel":   {"ablation-oversel", "Over-selection baseline", AblationOverSelect},
 	"theory":             {"theory", "Empirical §5 convergence check", TheoryValidation},
+	"scale":              {"scale", "Million-client simnet: lazy population ladder", Scale},
 }
 
 // IDs returns the experiment ids in a stable order.

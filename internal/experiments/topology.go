@@ -24,6 +24,10 @@ type ComposeTopology struct {
 	Buffer int
 	// TopKFrac enables the top-k delta uplink compressor (0 = raw).
 	TopKFrac float64
+	// Workers lets edge-local events of distinct edges execute on that
+	// many OS workers (simnet.MultiClock.DriveWorkers); <=1 keeps the
+	// serial driver. Results are bit-identical at any value.
+	Workers int
 }
 
 // edgeSeedStride separates the per-edge data and cluster seeds. Edge 0
@@ -94,6 +98,7 @@ func runHierarchy(p Preset, d dsSpec, m fl.Method, dyn ComposeDynamics, topo Com
 		Fold:     topo.Fold,
 		Buffer:   topo.Buffer,
 		TopKFrac: topo.TopKFrac,
+		Workers:  topo.Workers,
 	}
 	if k > 1 {
 		// The cloud evaluates its merged model over the union population.

@@ -58,6 +58,13 @@ type RunConfig struct {
 	// EvalEvery evaluates the global model every this many global updates
 	// (1 = every update).
 	EvalEvery int
+	// EvalSample caps how many clients the lazy environment's evaluator
+	// measures per evaluation (0 = DefaultEvalSample, capped by the
+	// population). A huge population cannot afford a full-population test
+	// pass every eval; a fixed deterministic sample keeps evaluation O(1)
+	// in N. The eager Env always evaluates the full population and ignores
+	// this field, so existing runs are unaffected.
+	EvalSample int
 	// MaxSimTime stops a run after this much virtual time (0 = no limit).
 	MaxSimTime float64
 
@@ -185,6 +192,7 @@ type Env struct {
 	factory ModelFactory
 	w0      []float64
 	shapes  []codec.ShapeInfo
+	group   []*Client // cohort-resolution scratch, reused across rounds
 }
 
 // NewEnv wires a federated dataset to a simulated cluster and constructs

@@ -1,0 +1,197 @@
+package fl
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// lazyTestConfigs builds the paired eager/lazy inputs for one small but
+// adversarial population: image shards, drift + churn + late joins, a
+// scaling attack and the DP stage, so every lazily derived stream (speed,
+// delay, drift, churn, schedule, DP noise, attack membership) is exercised.
+func lazyTestConfigs(seed uint64) (dataset.Config, simnet.ClusterConfig, RunConfig) {
+	dcfg := dataset.Config{
+		Name: "lazylike", NumClients: 20, Classes: 10, SamplesPerClient: 24,
+		ClassesPerClient: 2, Seed: seed, ImgC: 1, ImgH: 6, ImgW: 6,
+		Signal: 0.3, Noise: 1.0,
+	}
+	ccfg := simnet.ClusterConfig{
+		NumClients: 20, NumUnstable: 3, DropHorizon: 600,
+		SecPerBatch: 0.05, UpBW: 1 << 20, DownBW: 1 << 20, ServerBW: 8 << 20,
+		Seed: seed,
+		Behavior: simnet.BehaviorConfig{
+			DriftMag: 0.2, DriftInterval: 40,
+			ChurnFrac: 0.25, LateJoinFrac: 0.15,
+			AttackFrac: 0.2, AttackKind: "scale", AttackScale: -2,
+		},
+	}
+	rcfg := RunConfig{
+		Rounds: 8, ClientsPerRound: 4, LocalEpochs: 1, BatchSize: 6,
+		LearningRate: 0.02, NumTiers: 3, EvalEvery: 2,
+		DPClip: 0.5, DPNoise: 0.01,
+		Seed: seed,
+	}
+	return dcfg, ccfg, rcfg
+}
+
+func lazyTestFactory(inDim, classes int) ModelFactory {
+	return func(seed uint64) *nn.Network {
+		return nn.NewMLP(rng.New(seed), inDim, 8, classes)
+	}
+}
+
+// buildLazy constructs the lazy environment for the paired configs.
+func buildLazy(t testing.TB, dcfg dataset.Config, ccfg simnet.ClusterConfig, rcfg RunConfig) *LazyEnv {
+	t.Helper()
+	src, err := dataset.NewSource(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := simnet.NewPopulation(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := NewLazyEnv(src, pop, lazyTestFactory(src.InDim(), src.Classes()), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return le
+}
+
+// TestLazyEnvMatchesEagerRun is the tentpole equivalence: a full method run
+// over the lazy environment — pooled workers, on-demand shards, runtimes
+// materialized at dispatch, sampled evaluation covering the whole (small)
+// population — produces a run record bit-identical to the eager Env's.
+// The methods span all three pacers plus TiFL's probe/subset-eval path.
+func TestLazyEnvMatchesEagerRun(t *testing.T) {
+	for _, name := range []string{"fedat", "fedavg", "tifl", "fedasync"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			dcfg, ccfg, rcfg := lazyTestConfigs(17)
+			fed, err := dataset.Generate(dcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster, err := simnet.NewCluster(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := NewEnv(fed, cluster, lazyTestFactory(fed.InDim, fed.Classes), rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mustRun(t, name, env)
+
+			le := buildLazy(t, dcfg, ccfg, rcfg)
+			m, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.RunOn(le.Fabric(), le.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("lazy run diverged from eager run:\neager: %+v\nlazy:  %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestLazyEnvResetReuse pins the lazy reuse contract: after ResetState a
+// second run on the SAME LazyEnv is bit-identical to the first — no worker
+// binding, materialized runtime, delay-stream position or link reservation
+// survives a run.
+func TestLazyEnvResetReuse(t *testing.T) {
+	dcfg, ccfg, rcfg := lazyTestConfigs(29)
+	le := buildLazy(t, dcfg, ccfg, rcfg)
+	m, err := Lookup("fedat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *metrics.Run {
+		r, err := m.RunOn(le.Fabric(), le.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	first := run()
+	le.ResetState()
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("run after ResetState diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// heapWatcher samples the live heap at every fold and evaluation — the
+// points where a lazy run's footprint peaks (cohort shards just released,
+// eval shards in flight).
+type heapWatcher struct{ peak uint64 }
+
+func (h *heapWatcher) OnEvent(ev Event) {
+	switch ev.(type) {
+	case TierFoldEvent, EvalEvent:
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > h.peak {
+			h.peak = m.HeapAlloc
+		}
+	}
+}
+
+// TestLazyEnvMemoryCeiling is the scale guarantee: a one-million-client
+// FedAT run completes with the heap bounded by a fixed ceiling independent
+// of N — clients exist as (seed, id) until dispatched, shards die with
+// their round, and evaluation touches a fixed sample. 256MB is ~40x what
+// the run actually holds live; an accidental O(N) materialization (eager
+// clients are ~10KB each) blows through it immediately.
+func TestLazyEnvMemoryCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-client run; skipped in -short")
+	}
+	const n = 1_000_000
+	dcfg := dataset.Config{
+		Name: "hugelike", NumClients: n, Classes: 10, SamplesPerClient: 24,
+		ClassesPerClient: 2, Seed: 1, ImgC: 1, ImgH: 6, ImgW: 6,
+		Signal: 0.3, Noise: 1.0,
+	}
+	ccfg := simnet.ClusterConfig{
+		NumClients: n, NumUnstable: 1000, DropHorizon: 20000,
+		SecPerBatch: 0.05, UpBW: 1 << 20, DownBW: 1 << 20, ServerBW: 16 << 20,
+		Seed: 1,
+	}
+	rcfg := RunConfig{
+		Rounds: 3, ClientsPerRound: 10, LocalEpochs: 1, BatchSize: 10,
+		LearningRate: 0.02, NumTiers: 5, EvalEvery: 1, EvalSample: 64,
+		Seed: 1,
+	}
+	le := buildLazy(t, dcfg, ccfg, rcfg)
+	m, err := Lookup("fedat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	watch := &heapWatcher{}
+	run, err := m.RunOn(le.Fabric(), le.Cfg, watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.GlobalRounds < rcfg.Rounds {
+		t.Fatalf("1M-client run completed only %d/%d global rounds", run.GlobalRounds, rcfg.Rounds)
+	}
+	const ceiling = 256 << 20
+	if watch.peak > ceiling {
+		t.Fatalf("peak heap %dMB exceeds the %dMB ceiling — the lazy path is materializing O(N) state",
+			watch.peak>>20, ceiling>>20)
+	}
+	if got := le.Pop.Materialized(); got >= n/100 {
+		t.Fatalf("run materialized %d of %d runtimes; the population should stay lazy", got, n)
+	}
+}

@@ -149,6 +149,9 @@ func (m Method) RunOn(fab Fabric, cfg RunConfig, obs ...Observer) (*metrics.Run,
 		rule:     ruleFac(),
 		obs:      append([]Observer{rec}, obs...),
 	}
+	if sd, ok := fab.(interface{ SyncDriven() bool }); ok {
+		rs.deferResume = sd.SyncDriven()
+	}
 	for _, o := range obs {
 		if s, ok := o.(Syncer); ok {
 			rs.syncers = append(rs.syncers, s)
@@ -195,6 +198,12 @@ type runState struct {
 	// last retier pass.
 	lat        *tiering.Tracker
 	lastRetier int
+
+	// deferResume is set when the fabric's clock distinguishes
+	// synchronization events (a MultiClock child): pacer continuations are
+	// then deferred out of fold callbacks into their own owner-local events
+	// (see resume). Plain clocks keep the inline fast path.
+	deferResume bool
 }
 
 // Tiers returns the fabric's latency partition, computing it on first use —
@@ -232,6 +241,37 @@ func (rs *runState) localConfig(round uint64) LocalConfig {
 		lc.Epochs = 1 + rs.epochRNG.Intn(rs.cfg.LocalEpochs)
 	}
 	return lc
+}
+
+// atSync schedules a fold-site callback: an event that folds into the
+// global model and may reach cross-engine state (the hierarchical cloud via
+// postFold). Fabrics that distinguish synchronization events (SyncFabric —
+// a MultiClock child under a parallel driver) run it alone at a quiescent
+// point of the merged timeline; everywhere else this is exactly At.
+func (rs *runState) atSync(t float64, fn func()) {
+	if s, ok := rs.fab.(SyncFabric); ok {
+		s.AtSync(t, fn)
+		return
+	}
+	rs.fab.At(t, fn)
+}
+
+// resume runs a pacer continuation — selecting and dispatching the next
+// round. Under a synchronization-driven clock (a MultiClock child that may
+// be driven in parallel) the continuation is deferred into its own event at
+// the current time: keeping dispatch out of the fold-site callbacks means
+// local training runs as an ordinary owner-local event, which is what a
+// parallel timeline driver is allowed to overlap across engines, and the
+// deferred event fires immediately after the fold at the same timestamp so
+// results are unchanged. On every other fabric the continuation runs
+// inline — the fold callback IS an ordinary event there, and deferral
+// would only add per-fold event-heap traffic on the hot path.
+func (rs *runState) resume(fn func()) {
+	if rs.deferResume {
+		rs.fab.At(rs.fab.Now(), fn)
+		return
+	}
+	fn()
 }
 
 // emit broadcasts one event to every observer.

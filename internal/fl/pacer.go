@@ -28,12 +28,17 @@ func earliestRejoin(rs *runState, ids []int, now float64) float64 {
 // and wait-free per-client loops (FedAsync, ASO-Fed).
 //
 // Pacers are written once against the Fabric interface in continuation
-// style: work is started with Dispatch, folds are sequenced with At, and
-// the fabric's clock decides what "concurrent" means. On the simulated
-// fabric Dispatch delivers synchronously and At queues on the virtual
-// event loop — exactly the discrete-event structure the golden runs pin.
-// On the live fabric Dispatch trains real clients over TCP while other
-// cohorts proceed, and deliveries serialize on the wall-clock run loop.
+// style: work is started with Dispatch, folds are sequenced with atSync,
+// and the fabric's clock decides what "concurrent" means. On the simulated
+// fabric Dispatch delivers synchronously and scheduling queues on the
+// virtual event loop — exactly the discrete-event structure the golden
+// runs pin. On the live fabric Dispatch trains real clients over TCP while
+// other cohorts proceed, and deliveries serialize on the wall-clock run
+// loop. Fold callbacks touch shared state (the update rule, the
+// hierarchical cloud), so they go through rs.atSync; the continuation that
+// starts the NEXT round is split out through rs.resume so that dispatch
+// and local training stay in plain owner-local events a parallel timeline
+// driver may overlap across edges.
 type Pacer interface {
 	Run(rs *runState) error
 }
@@ -98,10 +103,11 @@ func (syncPacer) Run(rs *runState) error {
 				}
 				rs.emitClientDones(tier, start, results)
 				kept, comp := sel.Harvest(rs, results)
-				rs.fab.At(comp, func() {
+				rs.atSync(comp, func() {
 					if len(kept) == 0 {
 						rs.releaseResults(results)
-						step(comp) // every counted client dropped; no update this round
+						// Every counted client dropped; no update this round.
+						rs.resume(func() { step(comp) })
 						return
 					}
 					g, err := rs.rule.Fold(Fold{Tier: tier, Updates: toUpdates(kept), StartRound: round})
@@ -117,7 +123,7 @@ func (syncPacer) Run(rs *runState) error {
 						return
 					}
 					rs.maybeEval(t, comp, g)
-					step(comp)
+					rs.resume(func() { step(comp) })
 				})
 			})
 			return // the round is in flight; resume from its completion
@@ -197,7 +203,7 @@ func (tierPacer) Run(rs *runState) error {
 			}
 			rs.emitClientDones(m, now, results)
 			kept, comp := tsel.Harvest(rs, results)
-			rs.fab.At(comp, func() {
+			rs.atSync(comp, func() {
 				if done {
 					return
 				}
@@ -228,17 +234,20 @@ func (tierPacer) Run(rs *runState) error {
 						// The pass may have migrated live clients into a
 						// tier whose loop exited (all previous members
 						// gone); restart those loops so no one silently
-						// leaves the training.
+						// leaves the training. Mark them active before the
+						// deferred kick runs so a fold landing in between
+						// cannot re-kick the same tier twice.
 						for m2 := range active {
 							if !active[m2] {
-								tierRound(m2)
+								active[m2] = true
+								rs.resume(func() { tierRound(m2) })
 							}
 						}
 					}
 				} else {
 					rs.releaseResults(results)
 				}
-				tierRound(m)
+				rs.resume(func() { tierRound(m) })
 			})
 		})
 	}
@@ -309,7 +318,7 @@ func (clientPacer) Run(rs *runState) error {
 				}
 				return
 			}
-			rs.fab.At(r.Arrive, func() {
+			rs.atSync(r.Arrive, func() {
 				if done {
 					return
 				}
@@ -337,7 +346,7 @@ func (clientPacer) Run(rs *runState) error {
 					fail(err)
 					return
 				}
-				startClient(id)
+				rs.resume(func() { startClient(id) })
 			})
 		})
 	}
@@ -418,7 +427,7 @@ func (bufferPacer) Run(rs *runState) error {
 				}
 				return
 			}
-			rs.fab.At(r.Arrive, func() {
+			rs.atSync(r.Arrive, func() {
 				if done {
 					return
 				}
@@ -455,7 +464,7 @@ func (bufferPacer) Run(rs *runState) error {
 						return
 					}
 				}
-				startClient(id)
+				rs.resume(func() { startClient(id) })
 			})
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/simnet"
 )
 
 // selectAvailable samples up to k distinct clients from ids that are still
@@ -43,19 +44,34 @@ func selectAvailable(r *rng.RNG, ids []int, fab Fabric, now float64, k int) []in
 // reconstructs after the (possibly lossy) uplink. This is the simulated
 // fabric's Dispatch body.
 func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm, lc LocalConfig) ([]TrainResult, error) {
+	if cap(e.group) < len(sel) {
+		e.group = make([]*Client, len(sel))
+	}
+	group := e.group[:len(sel)]
+	for i, id := range sel {
+		group[i] = e.Clients[id]
+	}
+	return runCohort(group, e.Cluster, start, global, comm, lc)
+}
+
+// runCohort is trainGroup's body over resolved clients: the eager Env hands
+// it permanent per-client state, the lazy environment hands it pooled
+// workers bound to the cohort for exactly this round. cl provides the link
+// model — only its server links are touched, so a Links-only shell works.
+func runCohort(group []*Client, cl *simnet.Cluster, start float64, global []float64, comm *Comm, lc LocalConfig) ([]TrainResult, error) {
 	// Downlink: every client receives its own copy of the snapshot. The
 	// copies are pooled — they only need to live until local training ends
 	// (TrainLocal reads the snapshot as its proximal anchor throughout), so
 	// they go back to the pool before this function returns.
-	received := make([][]float64, len(sel))
-	downDone := make([]float64, len(sel))
-	for i, id := range sel {
+	received := make([][]float64, len(group))
+	downDone := make([]float64, len(group))
+	for i, c := range group {
 		w, bytes, err := comm.TransmitPooled(global, false)
 		if err != nil {
 			return nil, err
 		}
 		received[i] = w
-		downDone[i] = e.Cluster.DownloadArrival(start, e.Clients[id].Runtime, bytes)
+		downDone[i] = cl.DownloadArrival(start, c.Runtime, bytes)
 	}
 
 	// Per-client local training is the eligible parallel section: client i
@@ -65,9 +81,9 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 	// wildly different local data sizes — static chunks would serialize
 	// the expensive clients on one worker. Selection, timing and link
 	// reservations stay sequential around it.
-	results := make([]TrainResult, len(sel))
-	parallel.Dynamic(len(sel), parallel.Workers(len(sel)), func(i int) {
-		c := e.Clients[sel[i]]
+	results := make([]TrainResult, len(group))
+	parallel.Dynamic(len(group), parallel.Workers(len(group)), func(i int) {
+		c := group[i]
 		w, steps := c.TrainLocal(received[i], lc)
 		results[i] = TrainResult{Client: c.ID, Weights: w, N: c.Data.NumTrain(), Steps: steps}
 	})
@@ -83,7 +99,7 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 	// ComputeTimeAt is exactly the static arithmetic.
 	for i := range results {
 		r := &results[i]
-		c := e.Clients[sel[i]]
+		c := group[i]
 		computeDone := downDone[i] + c.Runtime.ComputeTimeAt(r.Steps, downDone[i]) + c.Runtime.RoundDelay()
 		// A round is lost if the client is offline at ANY point of it —
 		// a churn window wholly inside the round disrupts training even
@@ -103,7 +119,7 @@ func (e *Env) trainGroup(sel []int, start float64, global []float64, comm *Comm,
 			return nil, err
 		}
 		r.Weights = w
-		r.Arrive = e.Cluster.UploadArrival(computeDone, c.Runtime, bytes)
+		r.Arrive = cl.UploadArrival(computeDone, c.Runtime, bytes)
 	}
 	return results, nil
 }

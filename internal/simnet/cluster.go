@@ -168,7 +168,24 @@ type Cluster struct {
 // NewCluster builds the population: clients are randomly divided into the
 // delay parts (even split unless PartSizes is set), receive persistent
 // compute-speed factors, and NumUnstable of them get finite drop times.
+//
+// It is now a thin shell over the lazy Population — "materialize every
+// client" — so the eager and lazy construction paths cannot drift apart.
+// newClusterEager below keeps the original direct construction as the
+// reference the equivalence test pins Population against.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	p, err := NewPopulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Cluster(), nil
+}
+
+// newClusterEager is the pre-lazy construction, byte-for-byte: every draw
+// in its original order. It exists as the specification the lazy
+// Population is tested against (TestPopulationMatchesEagerCluster) — if
+// the two ever disagree, the lazy derivation broke the RNG contract.
+func newClusterEager(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.NumClients <= 0 {
 		return nil, fmt.Errorf("simnet: NumClients must be positive")
 	}
