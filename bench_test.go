@@ -140,12 +140,34 @@ func benchRun(b *testing.B, name string, c codec.Codec, seed uint64) {
 
 // BenchmarkMethod measures one full run of every registry method at the
 // tiny-scale environment — the per-method perf trajectory CI records into
-// BENCH_fl.json.
+// BENCH_fl.json — plus the composed async-family variants that exist only
+// as aggregation specs (DESIGN.md §1g): the per-update staleness fold and
+// the asyncsgd server step, both through the fedbuff buffered pacer.
 func BenchmarkMethod(b *testing.B) {
 	for _, name := range fl.MethodNames() {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			benchRun(b, name, codec.Raw{}, 7)
+		})
+	}
+	for _, c := range []struct{ name, agg string }{
+		{"fedasync-fedbuff", "fedasync:poly:0.5"},
+		{"asyncsgd-fedbuff", "asyncsgd:poly:0.5"},
+	} {
+		m, err := fl.Compose("fedasync", "", "fedbuff", c.agg, c.name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			env := benchEnv(b, codec.Raw{}, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.ResetState()
+				if _, err := m.Run(env); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -65,9 +65,15 @@ func main() {
 		method  = flag.String("method", "fedat", "registry method to run: "+strings.Join(fl.MethodNames(), ", "))
 		selName = flag.String("select", "", "override the selection policy: random, oversel, tifl, all")
 		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client, fedbuff")
-		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed, median, trimmed, krum")
+		agg     = flag.String("agg", "", "override the aggregation rule spec: avg, eq5, uniform, staleness, asofed, fedasync, asyncsgd, median, trimmed, krum; the staleness family takes params rule[:func[:alpha[:threshold]]], e.g. fedasync:poly:0.5")
 		name    = flag.String("name", "", "display name for the composed method")
 		bufferK = flag.Int("buffer-k", 0, "fedbuff pacer: arrivals buffered per fold (0 = clients per round)")
+
+		// Staleness knobs, mirroring fedsim's compose mode: the weight
+		// function shared by the async update rules and the adaptive-LR stage.
+		staleFunc  = flag.String("stale-func", "", "staleness weight function for async aggregation: poly, exp, const, hinge (default poly; an -agg spec's func wins)")
+		staleAlpha = flag.Float64("stale-alpha", 0, "staleness discount exponent/rate (unset = engine default 0.5; explicit 0 = no discount)")
+		adaptiveLR = flag.Bool("adaptive-lr", false, "scale each dispatch's local learning rate by the staleness weight of its tier/client (shipped to clients in the push header)")
 
 		// Adversarial regime + defenses (the live analogue of fedsim's
 		// attack knobs): the server directs a deterministic subset of the
@@ -94,10 +100,14 @@ func main() {
 
 	// An EXPLICIT "-lambda 0" has always meant "no proximal term" and must
 	// keep meaning that, even though an unset flag (also 0) now inherits
-	// the engine default.
+	// the engine default. "-stale-alpha 0" gets the same treatment: an
+	// explicit zero means "no staleness discount", not "use the default".
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "lambda" && *lambda == 0 {
 			*lambda = fl.LambdaOff
+		}
+		if f.Name == "stale-alpha" && *staleAlpha == 0 {
+			*staleAlpha = fl.StaleExpOff
 		}
 	})
 	if *dataSeed == 0 {
@@ -173,6 +183,8 @@ func main() {
 			Lambda:          *lambda, // 0 → fl.DefaultLambda via withDefaults
 			RetierEvery:     *retier,
 			BufferK:         *bufferK,
+			Staleness:       fl.StalenessConfig{Func: *staleFunc, Alpha: *staleAlpha},
+			AdaptiveLR:      *adaptiveLR,
 			DPClip:          *dpClip,
 			DPNoise:         *dpNoise,
 			Codec:           wire,

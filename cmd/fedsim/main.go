@@ -58,9 +58,16 @@ func main() {
 		compose = flag.String("compose", "", "run a single method composition: a registry method name used as the base spec (see -select/-pacer/-agg)")
 		selName = flag.String("select", "", "override the selection policy: random, oversel, tifl, all")
 		pacer   = flag.String("pacer", "", "override the pacing policy: sync, tier, client, fedbuff")
-		agg     = flag.String("agg", "", "override the aggregation rule: avg, eq5, uniform, staleness, asofed, median, trimmed, krum")
+		agg     = flag.String("agg", "", "override the aggregation rule spec: avg, eq5, uniform, staleness, asofed, fedasync, asyncsgd, median, trimmed, krum; the staleness family takes params rule[:func[:alpha[:threshold]]], e.g. fedasync:poly:0.5")
 		name    = flag.String("name", "", "display name for the composed method (default derived from overrides)")
 		trace   = flag.Bool("trace", false, "with -compose, print the run's event stream to stderr")
+
+		// Staleness knobs (compose mode): the weight function shared by the
+		// async update rules and the adaptive-LR stage; see the 'staleness'
+		// experiment.
+		staleFunc  = flag.String("stale-func", "", "with -compose, staleness weight function: poly, exp, const, hinge (default poly; an -agg spec's func wins)")
+		staleAlpha = flag.Float64("stale-alpha", 0, "with -compose, staleness discount exponent/rate (unset = engine default 0.5; explicit 0 = no discount)")
+		adaptiveLR = flag.Bool("adaptive-lr", false, "with -compose, scale each dispatch's local learning rate by the staleness weight of its tier/client")
 
 		// Dynamic-population knobs (compose mode): time-varying client
 		// behavior plus runtime re-tiering; see the 'dynamics' experiment.
@@ -101,10 +108,18 @@ func main() {
 		}
 		return
 	}
+	// An EXPLICIT "-stale-alpha 0" means "no staleness discount" and must
+	// survive the engine's defaulting, which treats 0 as unset.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "stale-alpha" && *staleAlpha == 0 {
+			*staleAlpha = fl.StaleExpOff
+		}
+	})
 	dyn := experiments.ComposeDynamics{
 		Drift: *drift, Churn: *churn, RetierEvery: *retier,
 		AttackKind: *attackKind, AttackFrac: *attackFrac, AttackScale: *attackScale, AttackTail: *attackTail,
 		DPClip: *dpClip, DPNoise: *dpNoise, BufferK: *bufferK,
+		StaleFunc: *staleFunc, StaleAlpha: *staleAlpha, AdaptiveLR: *adaptiveLR,
 	}
 	topo, err := parseTopology(*topology, *edgeFold, *edgeBuffer, *uplinkTopK)
 	if err != nil {
@@ -144,7 +159,7 @@ func main() {
 		}
 	}
 	if dyn != (experiments.ComposeDynamics{}) {
-		fmt.Fprintln(os.Stderr, "fedsim: -drift/-churn/-retier-every/-attack*/-dp-*/-buffer-k require -compose (the 'dynamics' and 'robustness' experiments carry their own)")
+		fmt.Fprintln(os.Stderr, "fedsim: -drift/-churn/-retier-every/-attack*/-dp-*/-buffer-k/-stale-*/-adaptive-lr require -compose (the 'dynamics', 'robustness' and 'staleness' experiments carry their own)")
 		os.Exit(2)
 	}
 	if topo.Edges > 0 {

@@ -171,6 +171,12 @@ type ClientUpdate struct {
 	// per-client server state (ASO-Fed's model copies). The tier aggregator
 	// itself does not read it.
 	Client int
+	// StartRound is the global update count when this client downloaded the
+	// snapshot it trained from — the per-update staleness anchor for the
+	// asynchronous update rules. Synchronous cohorts share one anchor;
+	// buffered arrivals (fedbuff) each carry their own. The tier aggregator
+	// itself does not read it.
+	StartRound int
 }
 
 // UpdateTier performs one tier-m round (the body of Algorithm 2): the

@@ -270,6 +270,14 @@ type ComposeDynamics struct {
 	DPNoise float64
 	// BufferK sizes the fedbuff pacer's fold buffer (0 = clients per round).
 	BufferK int
+	// StaleFunc/StaleAlpha configure the staleness weight function shared by
+	// the async update rules and the adaptive-LR stage ("" / 0 = engine
+	// defaults; an -agg spec's own parameters win over these).
+	StaleFunc  string
+	StaleAlpha float64
+	// AdaptiveLR scales each dispatch's local learning rate by the staleness
+	// weight of its tier/client.
+	AdaptiveLR bool
 }
 
 // behavior assembles the simnet behavior regime these knobs describe; the
@@ -295,6 +303,9 @@ func (dyn ComposeDynamics) applyRun(cfg *fl.RunConfig) {
 	cfg.DPClip = dyn.DPClip
 	cfg.DPNoise = dyn.DPNoise
 	cfg.BufferK = dyn.BufferK
+	cfg.Staleness.Func = dyn.StaleFunc
+	cfg.Staleness.Alpha = dyn.StaleAlpha
+	cfg.AdaptiveLR = dyn.AdaptiveLR
 }
 
 // RunComposedDynamics is RunComposed over an optionally drifting, churning

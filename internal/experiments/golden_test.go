@@ -24,8 +24,10 @@ var update = flag.Bool("update", false, "rewrite golden files from current outpu
 // tiering×attackers comparison) and the lazy-population ladder (scale —
 // its deterministic columns pin the lazy substrate's short-population
 // runs; the machine-dependent wall/heap figures are data-only scalars and
-// never reach the text).
-var goldenIDs = []string{"table1", "fig2", "ablation-lambda", "hierarchy", "robustness", "scale"}
+// never reach the text), and the async-family sweep (staleness — pins the
+// weight-function × discount grid, the per-update-vs-batch anchor
+// comparison and the adaptive-LR stage).
+var goldenIDs = []string{"table1", "fig2", "ablation-lambda", "hierarchy", "robustness", "scale", "staleness"}
 
 func TestGoldenText(t *testing.T) {
 	if testing.Short() {

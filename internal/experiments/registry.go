@@ -34,6 +34,7 @@ var Registry = map[string]Experiment{
 	"ablation-mistier":   {"ablation-mistier", "Mis-tiering tolerance", AblationMisTier},
 	"robustness":         {"robustness", "Adversarial robustness: attacks, robust folds, DP", Robustness},
 	"ablation-staleness": {"ablation-staleness", "FedAsync staleness sweep", AblationStaleness},
+	"staleness":          {"staleness", "Staleness-aware async family: weight functions, anchors, adaptive LR", Staleness},
 	"ablation-lambda":    {"ablation-lambda", "Proximal λ sweep", AblationLambda},
 	"ablation-oversel":   {"ablation-oversel", "Over-selection baseline", AblationOverSelect},
 	"theory":             {"theory", "Empirical §5 convergence check", TheoryValidation},

@@ -86,6 +86,12 @@ type LocalConfig struct {
 	// (and draws nothing).
 	DPClip  float64
 	DPNoise float64
+	// LRScale multiplies the optimizer's learning rate for this round —
+	// the staleness-adaptive LR stage (RunConfig.AdaptiveLR). 0 means the
+	// stage is off, and a scale of exactly 1 is skipped too, so stage-off
+	// (and zero-staleness) rounds are bit-identical to builds without the
+	// field.
+	LRScale float64
 }
 
 // Steps returns the number of mini-batch steps a round performs on n
@@ -116,6 +122,9 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 	}
 	c.Net.SetWeights(globalW)
 	c.Opt.Reset()
+	if lc.LRScale > 0 && lc.LRScale != 1 {
+		defer scaleLR(c.Opt, lc.LRScale)()
+	}
 
 	bs := lc.BatchSize
 	if bs > n {
@@ -168,6 +177,25 @@ func (c *Client) TrainLocal(globalW []float64, lc LocalConfig) ([]float64, int) 
 		robust.Sanitize(c.wOut, globalW, lc.DPClip, lc.DPNoise, &g)
 	}
 	return c.wOut, steps
+}
+
+// scaleLR multiplies the optimizer's learning rate for the duration of one
+// local round and returns the restore function. Both solvers export their
+// rate, so the scale composes with per-coordinate state (Adam's moments
+// are rate-independent); unknown optimizer types train unscaled — the
+// engine's LR scale is an optimization hint, not a correctness contract.
+func scaleLR(o opt.Optimizer, s float64) func() {
+	switch v := o.(type) {
+	case *opt.SGD:
+		old := v.LR
+		v.LR *= s
+		return func() { v.LR = old }
+	case *opt.Adam:
+		old := v.LR
+		v.LR *= s
+		return func() { v.LR = old }
+	}
+	return func() {}
 }
 
 // EvalLocal evaluates weights w on the client's held-out split and returns

@@ -163,11 +163,11 @@ func TestLambdaDefaulting(t *testing.T) {
 		t.Fatalf("LambdaOff did not survive double defaulting: %v", twice.Lambda)
 	}
 	rs := &runState{cfg: twice, method: Method{Local: LocalPolicy{Prox: true}}}
-	if lc := rs.localConfig(0); lc.Lambda != 0 {
+	if lc := rs.localConfig(0, lrSyncLoop); lc.Lambda != 0 {
 		t.Fatalf("LambdaOff produced local λ=%v, want 0", lc.Lambda)
 	}
 	rs.cfg = (RunConfig{}).withDefaults()
-	if lc := rs.localConfig(0); lc.Lambda != DefaultLambda {
+	if lc := rs.localConfig(0, lrSyncLoop); lc.Lambda != DefaultLambda {
 		t.Fatalf("default local λ=%v, want %v", lc.Lambda, DefaultLambda)
 	}
 }

@@ -190,13 +190,16 @@ func FuzzFoldInPlace(f *testing.F) {
 			}
 
 		case 3: // staleness — FedAsync's α_t-blended in-place Lerp
-			rule := &stalenessRule{global: append([]float64(nil), w0...), alpha: 0.6, exp: 0.5}
+			rule := &stalenessRule{global: append([]float64(nil), w0...), alpha: 0.6, sc: StalenessConfig{Func: StaleFuncPoly, Alpha: 0.5}}
 			refG := append([]float64(nil), w0...)
 			version := 0
 			for fd := 0; fd < folds; fd++ {
 				iu, nu := mkUpdates(fd, int(seed%3)+1, rule.global, refG)
 				start := fd / 2 // a stale anchor: version - start >= 0
-				got, err := rule.Fold(Fold{Tier: -1, Updates: iu, StartRound: start})
+				for i := range iu {
+					iu[i].StartRound = start
+				}
+				got, err := rule.Fold(Fold{Tier: -1, Updates: iu})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -21,7 +21,7 @@ type Method struct {
 	Name   string // display name, also the method's RNG stream label
 	Select string // key into Selectors
 	Pace   string // key into Pacers
-	Update string // key into UpdateRules
+	Update string // aggregation spec resolved by ParseAgg, e.g. "eq5" or "fedasync:poly:0.5"
 	Local  LocalPolicy
 }
 
@@ -130,9 +130,9 @@ func (m Method) RunOn(fab Fabric, cfg RunConfig, obs ...Observer) (*metrics.Run,
 	if !ok {
 		return nil, fmt.Errorf("fl: method %s: unknown pacer %q (have %v)", m.Name, m.Pace, util.SortedKeys(Pacers))
 	}
-	ruleFac, ok := UpdateRules[m.Update]
-	if !ok {
-		return nil, fmt.Errorf("fl: method %s: unknown update rule %q (have %v)", m.Name, m.Update, util.SortedKeys(UpdateRules))
+	rule, err := ParseAgg(m.Update)
+	if err != nil {
+		return nil, fmt.Errorf("fl: method %s: %w", m.Name, err)
 	}
 
 	cfg = cfg.withDefaults()
@@ -146,7 +146,7 @@ func (m Method) RunOn(fab Fabric, cfg RunConfig, obs ...Observer) (*metrics.Run,
 		root:     root,
 		epochRNG: root.SplitLabeled(epochLabel(m, cfg)),
 		sel:      selFac(),
-		rule:     ruleFac(),
+		rule:     rule,
 		obs:      append([]Observer{rec}, obs...),
 	}
 	if sd, ok := fab.(interface{ SyncDriven() bool }); ok {
@@ -199,6 +199,14 @@ type runState struct {
 	lat        *tiering.Tracker
 	lastRetier int
 
+	// Adaptive-LR state (cfg.AdaptiveLR): each dispatch loop's last
+	// observed fold staleness, keyed by the loop — client id for the
+	// wait-free pacers, tier for tier pacing, lrSyncLoop for sync pacing
+	// (which never observes: a sync cohort's model is never stale, so its
+	// scale stays g(0) = 1). The next dispatch of the same loop trains with
+	// LR scaled by the weight function at that staleness.
+	lrStale map[int]int
+
 	// deferResume is set when the fabric's clock distinguishes
 	// synchronization events (a MultiClock child): pacer continuations are
 	// then deferred out of fold callbacks into their own owner-local events
@@ -220,9 +228,13 @@ func (rs *runState) Tiers() (*tiering.Tiers, error) {
 	return rs.tiers, nil
 }
 
+// lrSyncLoop keys the sync pacer's single dispatch loop in lrStale.
+const lrSyncLoop = 0
+
 // localConfig derives the round's local-training settings from the method's
-// LocalPolicy.
-func (rs *runState) localConfig(round uint64) LocalConfig {
+// LocalPolicy. loop identifies the dispatch loop for the adaptive-LR stage
+// (client id, tier, or lrSyncLoop).
+func (rs *runState) localConfig(round uint64, loop int) LocalConfig {
 	lambda := 0.0
 	if rs.method.Local.Prox {
 		if lambda = rs.cfg.Lambda; lambda < 0 {
@@ -237,10 +249,32 @@ func (rs *runState) localConfig(round uint64) LocalConfig {
 		DPClip:    rs.cfg.DPClip,
 		DPNoise:   rs.cfg.DPNoise,
 	}
+	if rs.cfg.AdaptiveLR {
+		lc.LRScale = rs.cfg.Staleness.Weight(float64(rs.lrStale[loop]))
+	}
 	if rs.method.Local.VariableEpochs {
 		lc.Epochs = 1 + rs.epochRNG.Intn(rs.cfg.LocalEpochs)
 	}
 	return lc
+}
+
+// observeStale records a dispatch loop's realized fold staleness — the
+// global updates that accumulated between the loop's dispatch (startRound)
+// and its fold — for the adaptive-LR stage. Pacers call it at their fold
+// sites, before the fold advances the version; sync pacing never does (its
+// staleness is 0 by construction).
+func (rs *runState) observeStale(loop, startRound int) {
+	if !rs.cfg.AdaptiveLR {
+		return
+	}
+	if rs.lrStale == nil {
+		rs.lrStale = make(map[int]int)
+	}
+	s := rs.rule.Rounds() - startRound
+	if s < 0 {
+		s = 0
+	}
+	rs.lrStale[loop] = s
 }
 
 // atSync schedules a fold-site callback: an event that folds into the

@@ -96,7 +96,7 @@ func (syncPacer) Run(rs *runState) error {
 			round := rs.rule.Rounds()
 			rs.emit(RoundStartEvent{Tier: tier, Round: round, Time: now, Clients: cohort})
 			start := now
-			rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round)), func(results []TrainResult, err error) {
+			rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round), lrSyncLoop), func(results []TrainResult, err error) {
 				if err != nil {
 					fail(err)
 					return
@@ -110,7 +110,7 @@ func (syncPacer) Run(rs *runState) error {
 						rs.resume(func() { step(comp) })
 						return
 					}
-					g, err := rs.rule.Fold(Fold{Tier: tier, Updates: toUpdates(kept), StartRound: round})
+					g, err := rs.rule.Fold(Fold{Tier: tier, Updates: toUpdates(kept, round)})
 					if err != nil {
 						fail(err)
 						return
@@ -193,7 +193,7 @@ func (tierPacer) Run(rs *runState) error {
 		}
 		round := rs.rule.Rounds()
 		rs.emit(RoundStartEvent{Tier: m, Round: round, Time: now, Clients: cohort})
-		rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round)), func(results []TrainResult, err error) {
+		rs.fab.Dispatch(rs.comm, cohort, now, rs.rule.Global(), rs.localConfig(uint64(round), m), func(results []TrainResult, err error) {
 			if done {
 				return
 			}
@@ -208,7 +208,8 @@ func (tierPacer) Run(rs *runState) error {
 					return
 				}
 				if len(kept) > 0 {
-					g, err := rs.rule.Fold(Fold{Tier: m, Updates: toUpdates(kept), StartRound: round})
+					rs.observeStale(m, round)
+					g, err := rs.rule.Fold(Fold{Tier: m, Updates: toUpdates(kept, round)})
 					if err != nil {
 						fail(err)
 						return
@@ -298,7 +299,7 @@ func (clientPacer) Run(rs *runState) error {
 			return
 		}
 		startRound := rs.rule.Rounds()
-		rs.fab.Dispatch(rs.comm, []int{id}, now, rs.rule.Global(), rs.localConfig(uint64(startRound)), func(results []TrainResult, err error) {
+		rs.fab.Dispatch(rs.comm, []int{id}, now, rs.rule.Global(), rs.localConfig(uint64(startRound), id), func(results []TrainResult, err error) {
 			if done {
 				return
 			}
@@ -323,8 +324,9 @@ func (clientPacer) Run(rs *runState) error {
 					return
 				}
 				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive})
-				update := core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client}
-				g, err := rs.rule.Fold(Fold{Tier: -1, Updates: []core.ClientUpdate{update}, StartRound: startRound})
+				rs.observeStale(id, startRound)
+				update := core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client, StartRound: startRound}
+				g, err := rs.rule.Fold(Fold{Tier: -1, Updates: []core.ClientUpdate{update}})
 				if err != nil {
 					fail(err)
 					return
@@ -387,10 +389,11 @@ func (bufferPacer) Run(rs *runState) error {
 	}
 
 	// The arrival buffer. Buffered weights are pooled transmit buffers the
-	// engine recycles only after the fold that consumes them; bufStart is
-	// the oldest buffered start round — the cohort's staleness anchor.
+	// engine recycles only after the fold that consumes them; each arrival
+	// carries its own start round, so per-update rules discount buffer
+	// members individually (batch-anchored rules recover the oldest via
+	// Fold.StartRound).
 	buf := make([]core.ClientUpdate, 0, k)
-	bufStart := 0
 
 	var startClient func(id int)
 	retryAt := func(id int, now float64) {
@@ -408,7 +411,7 @@ func (bufferPacer) Run(rs *runState) error {
 			return
 		}
 		startRound := rs.rule.Rounds()
-		rs.fab.Dispatch(rs.comm, []int{id}, now, rs.rule.Global(), rs.localConfig(uint64(startRound)), func(results []TrainResult, err error) {
+		rs.fab.Dispatch(rs.comm, []int{id}, now, rs.rule.Global(), rs.localConfig(uint64(startRound), id), func(results []TrainResult, err error) {
 			if done {
 				return
 			}
@@ -432,12 +435,12 @@ func (bufferPacer) Run(rs *runState) error {
 					return
 				}
 				rs.emit(ClientDoneEvent{Client: r.Client, Tier: -1, Time: r.Arrive})
-				if len(buf) == 0 || startRound < bufStart {
-					bufStart = startRound
-				}
-				buf = append(buf, core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client})
+				buf = append(buf, core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client, StartRound: startRound})
 				if len(buf) >= k {
-					g, err := rs.rule.Fold(Fold{Tier: -1, Updates: buf, StartRound: bufStart})
+					for _, u := range buf {
+						rs.observeStale(u.Client, u.StartRound)
+					}
+					g, err := rs.rule.Fold(Fold{Tier: -1, Updates: buf})
 					if err != nil {
 						fail(err)
 						return

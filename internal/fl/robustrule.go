@@ -76,7 +76,7 @@ func (r *robustRule) Fold(f Fold) ([]float64, error) {
 }
 
 func init() {
-	UpdateRules["median"] = func() UpdateRule { return &robustRule{kind: "median"} }
-	UpdateRules["trimmed"] = func() UpdateRule { return &robustRule{kind: "trimmed"} }
-	UpdateRules["krum"] = func() UpdateRule { return &robustRule{kind: "krum"} }
+	UpdateRules["median"] = zeroArg("median", func() UpdateRule { return &robustRule{kind: "median"} })
+	UpdateRules["trimmed"] = zeroArg("trimmed", func() UpdateRule { return &robustRule{kind: "trimmed"} })
+	UpdateRules["krum"] = zeroArg("krum", func() UpdateRule { return &robustRule{kind: "krum"} })
 }

@@ -149,11 +149,13 @@ func completionTime(results []TrainResult) float64 {
 	return t
 }
 
-// toUpdates converts surviving results into aggregator updates.
-func toUpdates(results []TrainResult) []core.ClientUpdate {
+// toUpdates converts surviving results into aggregator updates, stamping
+// the cohort's shared staleness anchor (the global update count at
+// dispatch) on each.
+func toUpdates(results []TrainResult, startRound int) []core.ClientUpdate {
 	ups := make([]core.ClientUpdate, 0, len(results))
 	for _, r := range results {
-		ups = append(ups, core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client})
+		ups = append(ups, core.ClientUpdate{Weights: r.Weights, N: r.N, Client: r.Client, StartRound: startRound})
 	}
 	return ups
 }

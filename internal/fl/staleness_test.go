@@ -1,0 +1,284 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStalenessWeightFunctions pins each weight function against
+// hand-computed values — these are the numbers the async rules and the
+// adaptive-LR stage multiply by, so a drift here silently reweights every
+// staleness run.
+func TestStalenessWeightFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   StalenessConfig
+		s    float64
+		want float64
+	}{
+		{"poly fresh", StalenessConfig{Func: StaleFuncPoly, Alpha: 0.5}, 0, 1},
+		{"poly a=0.5 s=3", StalenessConfig{Func: StaleFuncPoly, Alpha: 0.5}, 3, 0.5}, // 4^-0.5
+		{"poly a=1 s=4", StalenessConfig{Func: StaleFuncPoly, Alpha: 1}, 4, 0.2},
+		{"empty func is poly", StalenessConfig{Alpha: 1}, 4, 0.2},
+		{"exp fresh", StalenessConfig{Func: StaleFuncExp, Alpha: 0.5}, 0, 1},
+		{"exp a=0.5 s=2", StalenessConfig{Func: StaleFuncExp, Alpha: 0.5}, 2, math.Exp(-1)},
+		{"const ignores staleness", StalenessConfig{Func: StaleFuncConst, Alpha: 9}, 100, 1},
+		{"hinge flat region", StalenessConfig{Func: StaleFuncHinge, Alpha: 0.5, Threshold: 4}, 4, 1},
+		{"hinge past threshold", StalenessConfig{Func: StaleFuncHinge, Alpha: 0.5, Threshold: 4}, 6, 0.5}, // 1/(0.5·2+1)
+		{"StaleExpOff poly", StalenessConfig{Func: StaleFuncPoly, Alpha: StaleExpOff}, 50, 1},
+		{"StaleExpOff exp", StalenessConfig{Func: StaleFuncExp, Alpha: StaleExpOff}, 50, 1},
+		{"StaleExpOff hinge", StalenessConfig{Func: StaleFuncHinge, Alpha: StaleExpOff, Threshold: 2}, 50, 1},
+	}
+	for _, c := range cases {
+		if got := c.sc.Weight(c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Weight(%v) = %v, want %v", c.name, c.s, got, c.want)
+		}
+	}
+}
+
+// TestParseAggSpecs: the single parse path accepts every registry rule bare,
+// accepts parameterized async-family specs (with empty fields inheriting),
+// and rejects malformed specs with an error naming the problem.
+func TestParseAggSpecs(t *testing.T) {
+	valid := []string{
+		"avg", "eq5", "uniform", "asofed",
+		"staleness", "fedasync", "asyncsgd",
+		"staleness:poly", "fedasync:exp:0.3", "asyncsgd:hinge:0.5:4",
+		"fedasync::0.25",  // empty func field inherits, alpha explicit
+		"fedasync:poly:0", // explicit zero alpha is a statement, not a default
+	}
+	for _, spec := range valid {
+		if _, err := ParseAgg(spec); err != nil {
+			t.Errorf("ParseAgg(%q) rejected a valid spec: %v", spec, err)
+		}
+	}
+	invalid := []string{
+		"nope",                // unknown rule
+		"avg:poly",            // parameterless rule with parameters
+		"fedasync:bogus",      // unknown weight function
+		"fedasync:poly:-1",    // negative alpha (use fedasync:poly:0 for none)
+		"fedasync:poly:x",     // non-numeric alpha
+		"fedasync:poly:1:-2",  // negative threshold
+		"fedasync:poly:1:2:3", // too many parameters
+	}
+	for _, spec := range invalid {
+		if _, err := ParseAgg(spec); err == nil {
+			t.Errorf("ParseAgg(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+// TestParseAggThreeSurfaces: the same spec string round-trips through every
+// composition surface — direct ParseAgg (fedsim/fedserver -agg), Compose's
+// update override (experiment cells), and the Update field of every
+// registry method. One parse path, no per-binary drift.
+func TestParseAggThreeSurfaces(t *testing.T) {
+	const spec = "fedasync:exp:0.3"
+	if _, err := ParseAgg(spec); err != nil {
+		t.Fatalf("direct ParseAgg(%q): %v", spec, err)
+	}
+	m, err := Compose("fedasync", "", "fedbuff", spec, "")
+	if err != nil {
+		t.Fatalf("Compose with agg override: %v", err)
+	}
+	if m.Update != spec {
+		t.Fatalf("Compose stored Update %q, want %q", m.Update, spec)
+	}
+	if _, err := ParseAgg(m.Update); err != nil {
+		t.Fatalf("ParseAgg of composed Update %q: %v", m.Update, err)
+	}
+	for name, reg := range Methods {
+		if _, err := ParseAgg(reg.Update); err != nil {
+			t.Errorf("registry method %q carries unparseable Update %q: %v", name, reg.Update, err)
+		}
+	}
+}
+
+// TestStalenessSpecResolve: only explicitly given spec fields override the
+// run-level config, and an explicit alpha of 0 overrides (the spec says
+// exactly what it means — no sentinel at the spec layer).
+func TestStalenessSpecResolve(t *testing.T) {
+	base := StalenessConfig{Func: StaleFuncExp, Alpha: 0.7, Threshold: 3}
+
+	s, err := parseStalenessSpec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.resolve(base); got != base {
+		t.Fatalf("empty spec rewrote the run config: %+v", got)
+	}
+
+	s, err = parseStalenessSpec([]string{"hinge", "0", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.resolve(base)
+	want := StalenessConfig{Func: StaleFuncHinge, Alpha: 0, Threshold: 5}
+	if got != want {
+		t.Fatalf("full spec resolved to %+v, want %+v", got, want)
+	}
+
+	s, err = parseStalenessSpec([]string{"", "0.25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = s.resolve(base)
+	if got.Func != StaleFuncExp || got.Alpha != 0.25 || got.Threshold != 3 {
+		t.Fatalf("partial spec resolved to %+v, want exp/0.25/3", got)
+	}
+
+	if got := (stalenessSpec{}).resolve(StalenessConfig{}); got.Func != StaleFuncPoly {
+		t.Fatalf("unset func resolved to %q, want poly", got.Func)
+	}
+}
+
+// TestStaleExpDefaulting mirrors TestLambdaDefaulting for the staleness
+// decay: unset inherits 0.5 through to Staleness.Alpha, an explicit value
+// flows through the deprecated flat alias, and StaleExpOff survives the
+// double defaulting (NewEnv then RunOn) instead of being silently reset —
+// the bug this sentinel exists to fix.
+func TestStaleExpDefaulting(t *testing.T) {
+	def := (RunConfig{}).withDefaults()
+	if def.AsyncStaleExp != 0.5 || def.Staleness.Alpha != 0.5 {
+		t.Fatalf("unset staleness decay defaulted to %v/%v, want 0.5/0.5",
+			def.AsyncStaleExp, def.Staleness.Alpha)
+	}
+	if def.Staleness.Func != StaleFuncPoly {
+		t.Fatalf("unset staleness func defaulted to %q, want poly", def.Staleness.Func)
+	}
+
+	alias := (RunConfig{AsyncStaleExp: 0.25}).withDefaults()
+	if alias.Staleness.Alpha != 0.25 {
+		t.Fatalf("deprecated alias did not feed Staleness.Alpha: %v", alias.Staleness.Alpha)
+	}
+
+	twice := (RunConfig{AsyncStaleExp: StaleExpOff}).withDefaults().withDefaults()
+	if twice.AsyncStaleExp >= 0 || twice.Staleness.Alpha >= 0 {
+		t.Fatalf("StaleExpOff did not survive double defaulting: %v/%v",
+			twice.AsyncStaleExp, twice.Staleness.Alpha)
+	}
+	if got := twice.Staleness.Weight(37); got != 1 {
+		t.Fatalf("StaleExpOff weight = %v, want 1 at any staleness", got)
+	}
+}
+
+// staleUpdate builds a two-weight client update with its own staleness
+// anchor.
+func staleUpdate(a, b float64, start int) core.ClientUpdate {
+	return core.ClientUpdate{Weights: []float64{a, b}, N: 1, StartRound: start}
+}
+
+// TestFedasyncMixedStalenessFold: a buffered fold with per-update anchors
+// must blend each member with its OWN weight — verified bit-exactly against
+// a hand-rolled sequential lerp — and must differ from the legacy batch rule
+// on the same input, which drags every member down to the oldest anchor.
+func TestFedasyncMixedStalenessFold(t *testing.T) {
+	const alpha = 0.6
+	sc := StalenessConfig{Func: StaleFuncPoly, Alpha: 0.5}
+	updates := []core.ClientUpdate{
+		staleUpdate(1, -2, 0),  // stale: trained against the version-0 snapshot
+		staleUpdate(-3, 4, 7),  // stale by one
+		staleUpdate(5, 0.5, 8), // fresh
+	}
+
+	r := &fedasyncRule{global: []float64{0.25, -0.75}, version: 8, alpha: alpha, sc: sc}
+	got, err := r.Fold(Fold{Tier: -1, Updates: updates})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []float64{0.25, -0.75}
+	for _, u := range updates {
+		tw := alpha * sc.Weight(float64(8-u.StartRound))
+		for i := range want {
+			want[i] = (1-tw)*want[i] + tw*u.Weights[i]
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("per-update fold[%d] = %v, want %v (bit-exact)", i, got[i], want[i])
+		}
+	}
+	if r.Rounds() != 9 {
+		t.Fatalf("fold advanced version to %d, want 9", r.Rounds())
+	}
+
+	legacy := &stalenessRule{global: []float64{0.25, -0.75}, version: 8, alpha: alpha, sc: sc}
+	lgot, err := legacy.Fold(Fold{Tier: -1, Updates: updates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range got {
+		if got[i] != lgot[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("per-update fold matched the batch-anchored rule on mixed staleness — anchors are not per-update")
+	}
+
+	// Single-update folds (client pacing) are where the two rules coincide.
+	one := []core.ClientUpdate{staleUpdate(1, -2, 5)}
+	ra := &fedasyncRule{global: []float64{0, 0}, version: 9, alpha: alpha, sc: sc}
+	rb := &stalenessRule{global: []float64{0, 0}, version: 9, alpha: alpha, sc: sc}
+	ga, _ := ra.Fold(Fold{Tier: -1, Updates: one})
+	gb, _ := rb.Fold(Fold{Tier: -1, Updates: one})
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("cohort-of-one fold diverged from legacy rule at [%d]: %v vs %v", i, ga[i], gb[i])
+		}
+	}
+}
+
+// TestAsyncSGDFold: one fold is one server step — every buffered member
+// measures its delta against the same pre-fold model, weighted by its own
+// staleness, and the mean delta is applied with step size α.
+func TestAsyncSGDFold(t *testing.T) {
+	const alpha = 0.6
+	sc := StalenessConfig{Func: StaleFuncExp, Alpha: 0.3}
+	global := []float64{0.25, -0.75}
+	updates := []core.ClientUpdate{
+		staleUpdate(1, -2, 2),
+		staleUpdate(-3, 4, 5),
+	}
+
+	r := &asyncSGDRule{global: append([]float64(nil), global...), delta: make([]float64, 2), version: 5, alpha: alpha, sc: sc}
+	got, err := r.Fold(Fold{Tier: -1, Updates: updates})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := make([]float64, 2)
+	for _, u := range updates {
+		g := sc.Weight(float64(5 - u.StartRound))
+		for i := range delta {
+			delta[i] += g * (u.Weights[i] - global[i])
+		}
+	}
+	for i := range global {
+		want := global[i] + alpha/2*delta[i]
+		if got[i] != want {
+			t.Fatalf("asyncsgd fold[%d] = %v, want %v (bit-exact)", i, got[i], want)
+		}
+	}
+	if r.Rounds() != 6 {
+		t.Fatalf("fold advanced version to %d, want 6", r.Rounds())
+	}
+}
+
+// TestFoldStartRound: the batch accessor reports the oldest member's anchor
+// (the legacy rule's whole-fold staleness) and 0 on an empty fold.
+func TestFoldStartRound(t *testing.T) {
+	f := Fold{Updates: []core.ClientUpdate{
+		staleUpdate(0, 0, 6), staleUpdate(0, 0, 2), staleUpdate(0, 0, 4),
+	}}
+	if got := f.StartRound(); got != 2 {
+		t.Fatalf("StartRound() = %d, want oldest member 2", got)
+	}
+	if got := (Fold{}).StartRound(); got != 0 {
+		t.Fatalf("empty fold StartRound() = %d, want 0", got)
+	}
+}

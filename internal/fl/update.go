@@ -2,7 +2,6 @@ package fl
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -10,12 +9,30 @@ import (
 )
 
 // Fold is one batch of client updates arriving at the server: the tier they
-// trained in, and the global update count when their training started (the
-// staleness anchor for asynchronous rules).
+// trained in, with each update carrying its own staleness anchor
+// (core.ClientUpdate.StartRound).
 type Fold struct {
-	Tier       int
-	Updates    []core.ClientUpdate
-	StartRound int
+	Tier    int
+	Updates []core.ClientUpdate
+}
+
+// StartRound returns the fold's batch-level staleness anchor: the oldest
+// member's StartRound. This is exactly the pre-redesign batch field, which
+// stamped a whole fold at its most stale member — the legacy staleness
+// rule keeps that semantics through this accessor so its pinned runs stay
+// byte-identical, while the per-update rules (fedasync, asyncsgd) read
+// each update's own anchor instead.
+func (f Fold) StartRound() int {
+	if len(f.Updates) == 0 {
+		return 0
+	}
+	start := f.Updates[0].StartRound
+	for _, u := range f.Updates[1:] {
+		if u.StartRound < start {
+			start = u.StartRound
+		}
+	}
+	return start
 }
 
 // UpdateRule is the aggregation policy of a method: it owns the server-side
@@ -58,13 +75,31 @@ type Rebaser interface {
 	Rebase(w []float64) []float64
 }
 
-// UpdateRules is the registry of aggregation policies.
-var UpdateRules = map[string]func() UpdateRule{
-	"avg":       func() UpdateRule { return &avgRule{} },
-	"eq5":       func() UpdateRule { return &eq5Rule{} },
-	"uniform":   func() UpdateRule { return &eq5Rule{forceUniform: true} },
-	"staleness": func() UpdateRule { return &stalenessRule{} },
-	"asofed":    func() UpdateRule { return &asoRule{} },
+// UpdateRules is the registry of aggregation policies. Each constructor
+// receives the parameters of its spec — the colon-separated fields after
+// the rule name in ParseAgg's input — and may reject them; parameterless
+// rules register through zeroArg. Callers resolve specs with ParseAgg
+// rather than indexing the map directly.
+var UpdateRules = map[string]func(args []string) (UpdateRule, error){
+	"avg":       zeroArg("avg", func() UpdateRule { return &avgRule{} }),
+	"eq5":       zeroArg("eq5", func() UpdateRule { return &eq5Rule{} }),
+	"uniform":   zeroArg("uniform", func() UpdateRule { return &eq5Rule{forceUniform: true} }),
+	"staleness": stalenessArgs(func(s stalenessSpec) UpdateRule { return &stalenessRule{spec: s} }),
+	"fedasync":  stalenessArgs(func(s stalenessSpec) UpdateRule { return &fedasyncRule{spec: s} }),
+	"asyncsgd":  stalenessArgs(func(s stalenessSpec) UpdateRule { return &asyncSGDRule{spec: s} }),
+	"asofed":    zeroArg("asofed", func() UpdateRule { return &asoRule{} }),
+}
+
+// stalenessArgs adapts an async-family constructor: the spec's parameters
+// parse as func:alpha:threshold and override RunConfig.Staleness at Init.
+func stalenessArgs(fn func(stalenessSpec) UpdateRule) func([]string) (UpdateRule, error) {
+	return func(args []string) (UpdateRule, error) {
+		s, err := parseStalenessSpec(args)
+		if err != nil {
+			return nil, err
+		}
+		return fn(s), nil
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -177,20 +212,24 @@ func (r *eq5Rule) Fold(f Fold) ([]float64, error) {
 
 // ---------------------------------------------------------------------------
 // staleness: Xie et al.'s FedAsync mixing — each arriving update is blended
-// into the global model with weight α_t = α·(staleness+1)^(−a), staleness
-// measured in global updates since the client downloaded its snapshot.
+// into the global model with weight α_t = α·g(staleness), staleness
+// measured in global updates since the fold's OLDEST member downloaded its
+// snapshot (the batch anchor; fedasync in staleness.go is the per-update
+// variant). g is the configured weight function, polynomial
+// (staleness+1)^(−a) by default.
 
 type stalenessRule struct {
 	global  []float64
 	version int
 	alpha   float64
-	exp     float64
+	sc      StalenessConfig
+	spec    stalenessSpec
 }
 
 func (r *stalenessRule) Init(rs *runState) error {
 	r.global = rs.fab.InitialWeights()
 	r.alpha = rs.cfg.AsyncAlpha
-	r.exp = rs.cfg.AsyncStaleExp
+	r.sc = r.spec.resolve(rs.cfg.Staleness)
 	return nil
 }
 
@@ -208,12 +247,13 @@ func (r *stalenessRule) Fold(f Fold) ([]float64, error) {
 	if len(f.Updates) == 0 {
 		return nil, fmt.Errorf("staleness fold with no client updates")
 	}
+	start := f.StartRound()
 	for _, u := range f.Updates {
 		if len(u.Weights) != len(r.global) {
 			return nil, fmt.Errorf("staleness fold: update has %d weights, want %d", len(u.Weights), len(r.global))
 		}
-		staleness := float64(r.version - f.StartRound)
-		alpha := r.alpha * math.Pow(staleness+1, -r.exp)
+		staleness := float64(r.version - start)
+		alpha := r.alpha * r.sc.Weight(staleness)
 		tensor.Lerp(r.global, u.Weights, alpha)
 	}
 	r.version++

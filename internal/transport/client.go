@@ -150,6 +150,7 @@ func RunClient(cfg ClientConfig) error {
 				Round:     spec.Round,
 				DPClip:    spec.DPClip,
 				DPNoise:   spec.DPNoise,
+				LRScale:   spec.LRScale,
 			}
 			if cfg.DPClip > 0 {
 				lc.DPClip, lc.DPNoise = cfg.DPClip, cfg.DPNoise

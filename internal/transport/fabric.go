@@ -96,7 +96,7 @@ func (f *liveFabric) Dispatch(comm *fl.Comm, cohort []int, now float64, global [
 	}
 	spec := PushSpec{
 		Round: lc.Round, Epochs: lc.Epochs, Batch: lc.BatchSize, Lambda: lc.Lambda,
-		DPClip: lc.DPClip, DPNoise: lc.DPNoise,
+		DPClip: lc.DPClip, DPNoise: lc.DPNoise, LRScale: lc.LRScale,
 	}
 	payload := ModelPush(spec, msg)
 	var atkPayload []byte

@@ -28,11 +28,12 @@ const (
 	// MsgRegister (client→server): clientID u32, numSamples u32,
 	// latencyHintMs u32.
 	MsgRegister byte = iota + 1
-	// MsgModelPush (server→client): round u64, epochs u32, batch u32,
-	// lambda f64, model message. The local-training settings ride with the
-	// push because the engine's method composition decides them per round
-	// (FedProx's variable epochs, a method's proximal λ) — clients execute
-	// whatever local step the server's policy ships.
+	// MsgModelPush (server→client): a PushSpec header (round, epochs,
+	// batch, lambda, attack directive, DP stage, LR scale) followed by the
+	// model message. The local-training settings ride with the push because
+	// the engine's method composition decides them per round (FedProx's
+	// variable epochs, a method's proximal λ, the staleness-adaptive LR) —
+	// clients execute whatever local step the server's policy ships.
 	MsgModelPush
 	// MsgModelUpdate (client→server): clientID u32, numSamples u32,
 	// round u64, model message.
@@ -125,12 +126,16 @@ type PushSpec struct {
 	AttackScale float64
 	DPClip      float64
 	DPNoise     float64
+	// LRScale is the staleness-adaptive learning-rate factor (0 = stage
+	// off), mirroring fl.LocalConfig.LRScale so live rounds train with
+	// exactly the scale the engine computed.
+	LRScale float64
 }
 
 // pushHeaderLen is the fixed ModelPush header: round u64, epochs u32,
 // batch u32, lambda f64, attack u8, attackScale f64, dpClip f64,
-// dpNoise f64.
-const pushHeaderLen = 8 + 4 + 4 + 8 + 1 + 8 + 8 + 8
+// dpNoise f64, lrScale f64.
+const pushHeaderLen = 8 + 4 + 4 + 8 + 1 + 8 + 8 + 8 + 8
 
 // ModelPush frames a global model plus its local-training instruction.
 func ModelPush(spec PushSpec, model []byte) []byte {
@@ -143,6 +148,7 @@ func ModelPush(spec PushSpec, model []byte) []byte {
 	binary.LittleEndian.PutUint64(out[25:], math.Float64bits(spec.AttackScale))
 	binary.LittleEndian.PutUint64(out[33:], math.Float64bits(spec.DPClip))
 	binary.LittleEndian.PutUint64(out[41:], math.Float64bits(spec.DPNoise))
+	binary.LittleEndian.PutUint64(out[49:], math.Float64bits(spec.LRScale))
 	copy(out[pushHeaderLen:], model)
 	return out
 }
@@ -161,6 +167,7 @@ func ParseModelPush(p []byte) (spec PushSpec, model []byte, err error) {
 		AttackScale: math.Float64frombits(binary.LittleEndian.Uint64(p[25:])),
 		DPClip:      math.Float64frombits(binary.LittleEndian.Uint64(p[33:])),
 		DPNoise:     math.Float64frombits(binary.LittleEndian.Uint64(p[41:])),
+		LRScale:     math.Float64frombits(binary.LittleEndian.Uint64(p[49:])),
 	}
 	return spec, p[pushHeaderLen:], nil
 }

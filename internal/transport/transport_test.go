@@ -69,7 +69,7 @@ func TestRegisterRoundTrip(t *testing.T) {
 
 func TestModelMessagesRoundTrip(t *testing.T) {
 	model := []byte("model-bytes")
-	spec := PushSpec{Round: 42, Epochs: 3, Batch: 10, Lambda: 0.4}
+	spec := PushSpec{Round: 42, Epochs: 3, Batch: 10, Lambda: 0.4, LRScale: 0.75}
 	gotSpec, m, err := ParseModelPush(ModelPush(spec, model))
 	if err != nil || gotSpec != spec || string(m) != string(model) {
 		t.Fatalf("push corrupted: %v %+v %q", err, gotSpec, m)
@@ -293,15 +293,39 @@ func captureFinal(final *[]float64) fl.Observer {
 // codec channel, same local schedules, no drops. The engine makes every
 // policy decision on both fabrics; only execution differs.
 func TestLiveMatchesSimulated(t *testing.T) {
-	for _, name := range []string{"fedavg", "fedprox"} {
-		name := name
-		t.Run(name, func(t *testing.T) {
+	// The composed case runs the per-update staleness fold with the
+	// adaptive-LR stage armed under sync pacing: every cohort member is
+	// fresh, so the weight is exactly 1 and both fabrics must skip the LR
+	// stage identically — turning AdaptiveLR on cannot perturb a sync run,
+	// and the LRScale header field must survive the trip without changing
+	// training. (The non-unit scale itself is pinned bit-exactly by
+	// TestAdaptiveLRScaleOverTCP; wait-free pacing has no cross-fabric
+	// bit contract to compare under.)
+	adaptive, err := fl.Compose("fedasync", "random", "sync", "fedasync:poly:0.5", "fedasync-sync-adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		method fl.Method
+		mutate func(*fl.RunConfig)
+	}{
+		{"fedavg", fl.Methods["fedavg"], nil},
+		{"fedprox", fl.Methods["fedprox"], nil},
+		{"fedasync-sync-adaptive", adaptive, func(cfg *fl.RunConfig) { cfg.AdaptiveLR = true }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
 			const n = 6
 			seed := uint64(13)
 			lf := newLiveFederation(t, n, 0, seed)
 			cfg := liveCfg(seed)
 			cfg.Rounds = 3
 			cfg.Codec = codec.NewPolyline(4)
+			if c.mutate != nil {
+				c.mutate(&cfg)
+			}
 
 			// Simulated run: same federation, stable population.
 			cluster, err := simnet.NewCluster(simnet.ClusterConfig{NumClients: n, Seed: seed})
@@ -313,12 +337,12 @@ func TestLiveMatchesSimulated(t *testing.T) {
 				t.Fatal(err)
 			}
 			var simFinal []float64
-			if _, err := fl.Methods[name].Run(env, captureFinal(&simFinal)); err != nil {
+			if _, err := c.method.Run(env, captureFinal(&simFinal)); err != nil {
 				t.Fatal(err)
 			}
 
 			// Live run over loopback TCP.
-			_, liveFinal, clientErrs := lf.runLive(t, fl.Methods[name], cfg, nil)
+			_, liveFinal, clientErrs := lf.runLive(t, c.method, cfg, nil)
 			for i, err := range clientErrs {
 				if err != nil {
 					t.Fatalf("client %d error: %v", i, err)
@@ -330,10 +354,102 @@ func TestLiveMatchesSimulated(t *testing.T) {
 			}
 			for i := range simFinal {
 				if simFinal[i] != liveFinal[i] {
-					t.Fatalf("%s: weight %d diverged between fabrics: sim=%v live=%v", name, i, simFinal[i], liveFinal[i])
+					t.Fatalf("%s: weight %d diverged between fabrics: sim=%v live=%v", c.name, i, simFinal[i], liveFinal[i])
 				}
 			}
 		})
+	}
+}
+
+// TestAdaptiveLRScaleOverTCP is the wire-level half of the adaptive-LR
+// contract: a client receiving a non-unit LRScale in its push header must
+// train bit-identically to an in-process fl.LocalClient handed the same
+// fl.LocalConfig — the scale the engine computes is exactly the scale the
+// remote optimizer applies. A raw codec keeps the comparison lossless.
+func TestAdaptiveLRScaleOverTCP(t *testing.T) {
+	lf := newLiveFederation(t, 1, 0, 91)
+	seed := uint64(9)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ln.(*net.TCPListener).SetDeadline(time.Now().Add(30 * time.Second))
+
+	clientDone := make(chan error, 1)
+	go func() {
+		clientDone <- RunClient(ClientConfig{
+			Addr: ln.Addr().String(), ID: 0, LatencyHintMs: 10,
+			Data: lf.fed.Clients[0], Net: lf.factory(seed),
+			Opt: opt.NewAdam(0.01), Codec: codec.Raw{}, Seed: seed,
+		})
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	typ, _, err := ReadFrame(conn)
+	if err != nil || typ != MsgRegister {
+		t.Fatalf("expected register, got type %d err %v", typ, err)
+	}
+
+	global := lf.factory(seed).WeightsCopy()
+	push := func(scale float64) []float64 {
+		t.Helper()
+		msg, err := codec.MarshalModel(codec.Raw{}, lf.shapes, global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := PushSpec{Round: 0, Epochs: 1, Batch: 8, Lambda: 0.4, LRScale: scale}
+		if err := WriteFrame(conn, MsgModelPush, ModelPush(spec, msg)); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil || typ != MsgModelUpdate {
+			t.Fatalf("expected model update, got type %d err %v", typ, err)
+		}
+		_, _, _, m, err := ParseModelUpdate(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, w, err := codec.UnmarshalModel(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	wire := push(0.6)
+	if err := WriteFrame(conn, MsgShutdown, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := <-clientDone; cerr != nil {
+		t.Fatalf("client error: %v", cerr)
+	}
+
+	lc := fl.LocalConfig{Epochs: 1, BatchSize: 8, Lambda: 0.4, Round: 0, LRScale: 0.6}
+	mirror := fl.NewLocalClient(0, lf.fed.Clients[0], lf.factory(seed), opt.NewAdam(0.01), seed)
+	want, _ := mirror.TrainLocal(global, lc)
+	if len(wire) != len(want) {
+		t.Fatalf("weight vectors mismatched: wire=%d local=%d", len(wire), len(want))
+	}
+	for i := range want {
+		if wire[i] != want[i] {
+			t.Fatalf("weight %d diverged between wire and local scaled step: %v vs %v", i, wire[i], want[i])
+		}
+	}
+
+	// The scale must genuinely change the step — otherwise the assertions
+	// above would also pass with the header field dropped on the floor.
+	lc.LRScale = 0
+	unscaled := fl.NewLocalClient(0, lf.fed.Clients[0], lf.factory(seed), opt.NewAdam(0.01), seed)
+	base, _ := unscaled.TrainLocal(global, lc)
+	if !moved(base, wire) {
+		t.Fatal("LRScale 0.6 trained identically to the unscaled step — the wire scale had no effect")
 	}
 }
 
